@@ -1,0 +1,113 @@
+//! Skeletonization parameters.
+
+/// Parameters of the ASKIT-style skeletonization (paper §II-A, §V).
+#[derive(Clone, Debug)]
+pub struct SkelConfig {
+    /// Relative tolerance `τ`: the rank `s` is the smallest with
+    /// `σ_{s+1}/σ_1 < τ` (estimated by the RRQR diagonal).
+    pub tol: f64,
+    /// Maximum skeleton size `s_max`.
+    pub max_rank: usize,
+    /// Number of nearest neighbors `κ` used for row sampling.
+    pub neighbors: usize,
+    /// Additional uniform row samples beyond the ID column count.
+    pub oversample: usize,
+    /// Level restriction `L`: nodes at depth `< L` are never skeletonized,
+    /// so the skeletonization frontier sits at depth `L` (paper §II-A
+    /// "Level restriction"). `L = 1` skeletonizes everything below the
+    /// root, which is what the full direct factorization needs.
+    pub max_level: usize,
+    /// Adaptive frontier: additionally stop skeletonizing a node (and its
+    /// ancestors) when the ID achieves no compression (`α̃ = l̃ ∪ r̃`).
+    pub adaptive_frontier: bool,
+    /// Seed for the row-sampling RNG (deterministic per node).
+    pub seed: u64,
+    /// Use approximate kNN with this many randomized projection trees for
+    /// the row sampling (ASKIT's high-dimensional mode); `None` = exact
+    /// ball-tree search. In high ambient dimensions exact search is
+    /// `O(N²d)` while the sampled rows only need *good* (not perfect)
+    /// neighbor lists.
+    pub approx_knn_trees: Option<usize>,
+}
+
+impl Default for SkelConfig {
+    fn default() -> Self {
+        SkelConfig {
+            tol: 1e-5,
+            max_rank: 256,
+            neighbors: 32,
+            oversample: 32,
+            max_level: 1,
+            adaptive_frontier: false,
+            seed: 0x5eed,
+            approx_knn_trees: None,
+        }
+    }
+}
+
+impl SkelConfig {
+    /// Builder-style setter for the tolerance `τ`.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Builder-style setter for `s_max`.
+    pub fn with_max_rank(mut self, s: usize) -> Self {
+        self.max_rank = s;
+        self
+    }
+
+    /// Builder-style setter for the neighbor count `κ`.
+    pub fn with_neighbors(mut self, k: usize) -> Self {
+        self.neighbors = k;
+        self
+    }
+
+    /// Builder-style setter for the level restriction `L`.
+    pub fn with_max_level(mut self, l: usize) -> Self {
+        self.max_level = l;
+        self
+    }
+
+    /// Builder-style setter for the adaptive-frontier flag.
+    pub fn with_adaptive_frontier(mut self, on: bool) -> Self {
+        self.adaptive_frontier = on;
+        self
+    }
+
+    /// Builder-style setter for the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for approximate-kNN sampling (`n_trees`
+    /// randomized projection trees).
+    pub fn with_approx_knn(mut self, n_trees: usize) -> Self {
+        self.approx_knn_trees = Some(n_trees);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SkelConfig::default()
+            .with_tol(1e-3)
+            .with_max_rank(64)
+            .with_neighbors(8)
+            .with_max_level(3)
+            .with_adaptive_frontier(true)
+            .with_seed(7);
+        assert_eq!(c.tol, 1e-3);
+        assert_eq!(c.max_rank, 64);
+        assert_eq!(c.neighbors, 8);
+        assert_eq!(c.max_level, 3);
+        assert!(c.adaptive_frontier);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,191 @@
+//! Treecode evaluation at out-of-sample points.
+//!
+//! Given trained weights `w`, predictions need `K(x, X) w` for new points
+//! `x` — `O(Nd)` each if done directly. ASKIT's skeletons give a treecode:
+//! precompute nested *skeleton weights* `w̃_α = P_{α̃α} w_α` bottom-up,
+//! then evaluate by descending the ball tree and summing
+//! `Σ_j K(x, x_{α̃_j}) w̃_j` for nodes far enough from `x` (the
+//! multipole-acceptance criterion), recursing otherwise. This is the
+//! prediction path of the paper's learning setup:
+//! `sign(K(x, X) w)` (§IV).
+
+use crate::skeleton::SkeletonTree;
+use kfds_kernels::Kernel;
+use kfds_la::blas2::gemv;
+use kfds_tree::points::sq_dist;
+use rayon::prelude::*;
+
+/// A treecode evaluator for `x ↦ K(x, X) w`.
+pub struct TreecodeEvaluator<'a, K: Kernel> {
+    st: &'a SkeletonTree,
+    kernel: &'a K,
+    /// Weights in permuted order.
+    w: Vec<f64>,
+    /// Skeleton weights `w̃_α` per node (None where unskeletonized).
+    skel_weights: Vec<Option<Vec<f64>>>,
+    /// Multipole acceptance: a node is evaluated through its skeleton when
+    /// `radius <= theta * dist(x, center)`. `theta = 0` forces exact
+    /// evaluation everywhere.
+    theta: f64,
+}
+
+impl<'a, K: Kernel> TreecodeEvaluator<'a, K> {
+    /// Builds the evaluator: computes nested skeleton weights bottom-up
+    /// (`O(s²)` per internal node, `O(s m)` per leaf).
+    ///
+    /// `w` is in the tree's *permuted* order; `theta ∈ [0, 1)` trades
+    /// speed for accuracy.
+    ///
+    /// # Panics
+    /// Panics if `w.len()` differs from the point count.
+    pub fn new(st: &'a SkeletonTree, kernel: &'a K, w: Vec<f64>, theta: f64) -> Self {
+        let tree = st.tree();
+        assert_eq!(w.len(), tree.points().len(), "weight length mismatch");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let n_nodes = tree.nodes().len();
+        let mut skel_weights: Vec<Option<Vec<f64>>> = (0..n_nodes).map(|_| None).collect();
+        for level in (0..=tree.depth()).rev() {
+            for &i in tree.nodes_at_level(level) {
+                let Some(sk) = st.skeleton(i) else { continue };
+                let nd = tree.node(i);
+                let input: Vec<f64> = match nd.children {
+                    None => w[nd.range()].to_vec(),
+                    Some((l, r)) => {
+                        let (Some(wl), Some(wr)) = (&skel_weights[l], &skel_weights[r]) else {
+                            continue; // child unskeletonized: no nested basis
+                        };
+                        wl.iter().chain(wr.iter()).copied().collect()
+                    }
+                };
+                if input.len() != sk.proj.ncols() {
+                    continue;
+                }
+                let mut out = vec![0.0; sk.rank()];
+                gemv(1.0, sk.proj.rb(), &input, 0.0, &mut out);
+                skel_weights[i] = Some(out);
+            }
+        }
+        TreecodeEvaluator { st, kernel, w, skel_weights, theta }
+    }
+
+    /// Evaluates `K(x, X) w` for one query point.
+    pub fn evaluate(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.st.tree().points().dim(), "query dimension mismatch");
+        self.eval_node(self.st.tree().root(), x)
+    }
+
+    /// Evaluates a batch of query points in parallel.
+    pub fn evaluate_batch(&self, queries: &kfds_tree::PointSet) -> Vec<f64> {
+        (0..queries.len()).into_par_iter().map(|i| self.evaluate(queries.point(i))).collect()
+    }
+
+    fn eval_node(&self, node: usize, x: &[f64]) -> f64 {
+        let tree = self.st.tree();
+        let nd = tree.node(node);
+        let pts = tree.points();
+        // Multipole acceptance criterion: far-away nodes go through the
+        // skeleton approximation.
+        if self.theta > 0.0 {
+            if let (Some(sk), Some(sw)) = (self.st.skeleton(node), &self.skel_weights[node]) {
+                let dist = sq_dist(x, &nd.center).sqrt();
+                if nd.radius <= self.theta * dist {
+                    let mut s = 0.0;
+                    for (j, &p) in sk.skeleton.iter().enumerate() {
+                        s += self.kernel.eval(x, pts.point(p)) * sw[j];
+                    }
+                    return s;
+                }
+            }
+        }
+        match nd.children {
+            None => {
+                // Near leaf: exact.
+                let mut s = 0.0;
+                for i in nd.range() {
+                    s += self.kernel.eval(x, pts.point(i)) * self.w[i];
+                }
+                s
+            }
+            Some((l, r)) => self.eval_node(l, x) + self.eval_node(r, x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkelConfig;
+    use crate::skeletonize::skeletonize;
+    use kfds_kernels::Gaussian;
+    use kfds_tree::datasets::normal_embedded;
+    use kfds_tree::BallTree;
+
+    fn setup() -> (SkeletonTree, Gaussian, Vec<f64>) {
+        let pts = normal_embedded(512, 2, 6, 0.05, 23);
+        let tree = BallTree::build(&pts, 32);
+        let kernel = Gaussian::new(2.0);
+        let st = skeletonize(
+            tree,
+            &kernel,
+            SkelConfig::default().with_tol(1e-8).with_max_rank(128).with_neighbors(12),
+        );
+        let w: Vec<f64> = (0..512).map(|i| ((i as f64) * 0.13).sin()).collect();
+        (st, kernel, w)
+    }
+
+    fn exact_eval(st: &SkeletonTree, kernel: &Gaussian, w: &[f64], x: &[f64]) -> f64 {
+        let pts = st.tree().points();
+        (0..pts.len()).map(|i| kernel.eval(x, pts.point(i)) * w[i]).sum()
+    }
+
+    #[test]
+    fn theta_zero_is_exact() {
+        let (st, kernel, w) = setup();
+        let ev = TreecodeEvaluator::new(&st, &kernel, w.clone(), 0.0);
+        let x = [0.3, -0.5, 0.1, 0.0, 0.7, -0.2];
+        let got = ev.evaluate(&x);
+        let want = exact_eval(&st, &kernel, &w, &x);
+        assert!((got - want).abs() < 1e-12 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn small_theta_accurate() {
+        let (st, kernel, w) = setup();
+        let ev = TreecodeEvaluator::new(&st, &kernel, w.clone(), 0.5);
+        let queries = normal_embedded(20, 2, 6, 0.05, 99);
+        let mut max_rel = 0.0f64;
+        for i in 0..queries.len() {
+            let x = queries.point(i);
+            let got = ev.evaluate(x);
+            let want = exact_eval(&st, &kernel, &w, x);
+            max_rel = max_rel.max((got - want).abs() / want.abs().max(1e-6));
+        }
+        assert!(max_rel < 1e-3, "treecode error {max_rel}");
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (st, kernel, w) = setup();
+        let ev = TreecodeEvaluator::new(&st, &kernel, w, 0.4);
+        let queries = normal_embedded(10, 2, 6, 0.05, 7);
+        let batch = ev.evaluate_batch(&queries);
+        for i in 0..10 {
+            assert_eq!(batch[i], ev.evaluate(queries.point(i)));
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_as_theta_shrinks() {
+        let (st, kernel, w) = setup();
+        let x = [0.2, 0.4, -0.3, 0.6, -0.1, 0.5];
+        let want = exact_eval(&st, &kernel, &w, &x);
+        let mut prev_err = f64::INFINITY;
+        for theta in [0.9, 0.5, 0.2] {
+            let ev = TreecodeEvaluator::new(&st, &kernel, w.clone(), theta);
+            let err = (ev.evaluate(&x) - want).abs();
+            assert!(err <= prev_err * 10.0 + 1e-12, "theta {theta}: {err} vs {prev_err}");
+            prev_err = prev_err.min(err);
+        }
+        assert!(prev_err < 1e-4 * want.abs().max(1.0));
+    }
+}

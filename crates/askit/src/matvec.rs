@@ -1,0 +1,244 @@
+//! Hierarchical (treecode) matvec with the skeletonized kernel matrix.
+//!
+//! Applies `w = (λI + K̃) u` where `K̃` is *exactly* the approximation the
+//! direct solver factorizes — the symmetric form of eq. (6):
+//!
+//! ```text
+//! K̃_αα = [ K̃_ll              P_{l l̃} K_{l̃ r} ]
+//!         [ P_{r r̃} K_{r̃ l}   K̃_rr            ]
+//! ```
+//!
+//! recursively, with exact dense blocks at the leaves. Above the
+//! skeletonization frontier the off-diagonal coupling is expressed through
+//! the frontier skeletons (`P_{φ φ̃} K_{φ̃ β}` for each maximal
+//! skeletonized node `φ`), matching the hybrid solver's `W V` coalescing.
+//!
+//! This operator serves three roles: residual verification for the direct
+//! solver (it must invert `λI + K̃` to machine precision), the system
+//! operator for the unpreconditioned GMRES runs of Figure 5, and the σ₁
+//! estimation used to pick `λ` from target condition numbers.
+
+use crate::skeleton::SkeletonTree;
+use kfds_kernels::{sum_fused, Kernel};
+use kfds_la::blas1::axpy;
+
+/// Computes `w = (λI + K̃) u` on the tree's permuted ordering.
+///
+/// # Panics
+/// Panics if `u.len()` differs from the number of points.
+pub fn hier_matvec<K: Kernel>(st: &SkeletonTree, kernel: &K, lambda: f64, u: &[f64]) -> Vec<f64> {
+    let n = st.tree().points().len();
+    assert_eq!(u.len(), n, "hier_matvec: vector length mismatch");
+    let mut w = apply_node(st, kernel, st.tree().root(), u);
+    axpy(lambda, u, &mut w);
+    w
+}
+
+/// Recursive application of `K̃_αα u_α`.
+fn apply_node<K: Kernel>(st: &SkeletonTree, kernel: &K, node: usize, u: &[f64]) -> Vec<f64> {
+    let tree = st.tree();
+    let nd = tree.node(node);
+    let pts = tree.points();
+    match nd.children {
+        None => {
+            // Exact dense leaf block, evaluated matrix-free.
+            let rows: Vec<usize> = nd.range().collect();
+            let mut w = vec![0.0; rows.len()];
+            sum_fused(kernel, pts, &rows, &rows, u, &mut w);
+            w
+        }
+        Some((l, r)) => {
+            let nl = tree.node(l).len();
+            let (ul, ur) = u.split_at(nl);
+            let (mut wl, mut wr) = rayon::join(
+                || apply_node(st, kernel, l, ul),
+                || apply_node(st, kernel, r, ur),
+            );
+            // Off-diagonal coupling through the maximal skeletonized nodes.
+            apply_offdiag(st, kernel, l, tree.node(r).range(), ur, &mut wl);
+            apply_offdiag(st, kernel, r, tree.node(l).range(), ul, &mut wr);
+            wl.extend(wr);
+            wl
+        }
+    }
+}
+
+/// Adds `K̃[target, src_range] u_src` into `w` (length `|target|`), where
+/// the block is compressed through `target`'s skeleton when available,
+/// recursed to maximal skeletonized descendants otherwise, and exact for
+/// unskeletonized leaves.
+fn apply_offdiag<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    target: usize,
+    src_range: std::ops::Range<usize>,
+    u_src: &[f64],
+    w: &mut [f64],
+) {
+    let tree = st.tree();
+    let pts = tree.points();
+    if let Some(sk) = st.skeleton(target) {
+        if sk.rank() == 0 {
+            return; // numerically zero off-diagonal block
+        }
+        // v = K_{t̃, src} u_src, then w += P_{t t̃} v (telescoped).
+        let cols: Vec<usize> = src_range.collect();
+        let mut v = vec![0.0; sk.rank()];
+        sum_fused(kernel, pts, &sk.skeleton, &cols, u_src, &mut v);
+        let contribution = st.apply_p(target, &v);
+        axpy(1.0, &contribution, w);
+        return;
+    }
+    let nd = tree.node(target);
+    match nd.children {
+        Some((l, r)) => {
+            let nl = tree.node(l).len();
+            let (wl, wr) = w.split_at_mut(nl);
+            apply_offdiag(st, kernel, l, src_range.clone(), u_src, wl);
+            apply_offdiag(st, kernel, r, src_range, u_src, wr);
+        }
+        None => {
+            // Unskeletonized leaf (level restriction above the leaf level):
+            // exact interaction.
+            let rows: Vec<usize> = nd.range().collect();
+            let cols: Vec<usize> = src_range.collect();
+            let mut v = vec![0.0; rows.len()];
+            sum_fused(kernel, pts, &rows, &cols, u_src, &mut v);
+            axpy(1.0, &v, w);
+        }
+    }
+}
+
+/// Computes `w = (λI + K) u` with the *exact* kernel matrix (O(N²d),
+/// matrix-free) — the reference for approximation-error measurements.
+pub fn exact_matvec<K: Kernel>(st: &SkeletonTree, kernel: &K, lambda: f64, u: &[f64]) -> Vec<f64> {
+    let pts = st.tree().points();
+    let n = pts.len();
+    assert_eq!(u.len(), n);
+    let all: Vec<usize> = (0..n).collect();
+    let mut w = vec![0.0; n];
+    sum_fused(kernel, pts, &all, &all, u, &mut w);
+    axpy(lambda, u, &mut w);
+    w
+}
+
+/// Estimates the relative approximation error `‖(K̃ - K) u‖ / ‖K u‖` on
+/// `nsamples` random-ish unit test vectors (deterministic, seeded).
+pub fn approx_error_estimate<K: Kernel>(st: &SkeletonTree, kernel: &K, nsamples: usize) -> f64 {
+    let n = st.tree().points().len();
+    let mut worst = 0.0f64;
+    for s in 0..nsamples {
+        let mut state = 0x1234_5678_9abc_def0u64 ^ (s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let u: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        let approx = hier_matvec(st, kernel, 0.0, &u);
+        let exact = exact_matvec(st, kernel, 0.0, &u);
+        let mut diff = 0.0;
+        let mut norm = 0.0;
+        for (a, e) in approx.iter().zip(&exact) {
+            diff += (a - e) * (a - e);
+            norm += e * e;
+        }
+        if norm > 0.0 {
+            worst = worst.max((diff / norm).sqrt());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkelConfig;
+    use crate::skeletonize::skeletonize;
+    use kfds_kernels::{eval_symmetric, Gaussian};
+    use kfds_tree::datasets::{normal_embedded, uniform_cube};
+    use kfds_tree::BallTree;
+
+    fn test_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_matvec_matches_dense() {
+        let p = uniform_cube(60, 3, 5);
+        let tree = BallTree::build(&p, 8);
+        let k = Gaussian::new(0.8);
+        let st = skeletonize(tree, &k, SkelConfig::default().with_neighbors(4));
+        let u = test_vec(60, 3);
+        let w = exact_matvec(&st, &k, 0.5, &u);
+        let km = eval_symmetric(&k, st.tree().points(), 0..60);
+        let mut want = vec![0.0; 60];
+        kfds_la::blas2::gemv(1.0, km.rb(), &u, 0.0, &mut want);
+        for i in 0..60 {
+            want[i] += 0.5 * u[i];
+            assert!((w[i] - want[i]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn tight_tolerance_matches_exact_kernel() {
+        // With a generous bandwidth and tight tolerance, K̃ ≈ K closely.
+        let p = normal_embedded(256, 2, 6, 0.05, 11);
+        let tree = BallTree::build(&p, 32);
+        let k = Gaussian::new(2.0);
+        let cfg = SkelConfig::default().with_tol(1e-10).with_max_rank(200).with_neighbors(16);
+        let st = skeletonize(tree, &k, cfg);
+        let err = approx_error_estimate(&st, &k, 2);
+        assert!(err < 1e-6, "approximation error {err}");
+    }
+
+    #[test]
+    fn loose_tolerance_still_bounded() {
+        let p = normal_embedded(256, 2, 6, 0.05, 13);
+        let tree = BallTree::build(&p, 32);
+        let k = Gaussian::new(2.0);
+        let cfg = SkelConfig::default().with_tol(1e-2).with_max_rank(64).with_neighbors(8);
+        let st = skeletonize(tree, &k, cfg);
+        let err = approx_error_estimate(&st, &k, 2);
+        assert!(err < 0.3, "approximation error {err}");
+    }
+
+    #[test]
+    fn level_restricted_matvec_consistent() {
+        // With level restriction, off-diagonal blocks above the frontier
+        // go through frontier skeletons. The operator must still be close
+        // to the exact kernel for a tight tolerance.
+        let p = normal_embedded(256, 2, 5, 0.05, 17);
+        let tree = BallTree::build(&p, 16);
+        let k = Gaussian::new(2.5);
+        let cfg = SkelConfig::default()
+            .with_tol(1e-9)
+            .with_max_rank(200)
+            .with_neighbors(16)
+            .with_max_level(3);
+        let st = skeletonize(tree, &k, cfg);
+        assert!(!st.is_fully_skeletonized());
+        let err = approx_error_estimate(&st, &k, 2);
+        assert!(err < 1e-5, "approximation error {err}");
+    }
+
+    #[test]
+    fn lambda_shifts_diagonal() {
+        let p = uniform_cube(64, 2, 9);
+        let tree = BallTree::build(&p, 8);
+        let k = Gaussian::new(1.0);
+        let st = skeletonize(tree, &k, SkelConfig::default().with_neighbors(4));
+        let u = test_vec(64, 5);
+        let w0 = hier_matvec(&st, &k, 0.0, &u);
+        let w2 = hier_matvec(&st, &k, 2.0, &u);
+        for i in 0..64 {
+            assert!((w2[i] - w0[i] - 2.0 * u[i]).abs() < 1e-12);
+        }
+    }
+}

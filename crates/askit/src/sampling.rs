@@ -1,0 +1,146 @@
+//! Row sampling for the skeletonization IDs.
+//!
+//! Skeletonizing node `α` requires an ID of `K_{S α}` with `S` everything
+//! outside `α` — `O(N)` rows. ASKIT samples a small `S'` instead (§II-A):
+//! the `κ` nearest neighbors of the ID's column points that fall outside
+//! `α` (they dominate the near-field interactions, the hardest part to
+//! compress), topped up with uniform samples for the far field.
+
+use crate::config::SkelConfig;
+use kfds_tree::{BallTree, NeighborLists};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples rows `S'` for the skeletonization of the node owning
+/// `begin..end`, given the ID column points `cols` (permuted positions).
+///
+/// Returns a deduplicated list of permuted positions outside `[begin, end)`
+/// of size at most `cols.len() + config.oversample` (fewer if the
+/// complement is smaller).
+pub fn sample_rows(
+    tree: &BallTree,
+    nn: &NeighborLists,
+    cols: &[usize],
+    begin: usize,
+    end: usize,
+    node_index: usize,
+    config: &SkelConfig,
+) -> Vec<usize> {
+    let n = tree.points().len();
+    let outside = n - (end - begin);
+    let target = (cols.len() + config.oversample).min(outside);
+    let mut seen = vec![false; n];
+    let mut rows = Vec::with_capacity(target);
+
+    // Near-field rows: neighbors of the column points that land outside α.
+    'outer: for &c in cols {
+        for &j in nn.neighbors(c).iter().take(config.neighbors) {
+            let j = j as usize;
+            if (j < begin || j >= end) && !seen[j] {
+                seen[j] = true;
+                rows.push(j);
+                if rows.len() >= target {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // Far-field rows: uniform over the complement, deterministic per node.
+    let mut rng = StdRng::seed_from_u64(
+        config.seed ^ (node_index as u64).wrapping_mul(0x9e3779b97f4a7c15),
+    );
+    let mut attempts = 0usize;
+    while rows.len() < target && attempts < 64 * target + 64 {
+        attempts += 1;
+        let j = rng.gen_range(0..n);
+        if (j < begin || j >= end) && !seen[j] {
+            seen[j] = true;
+            rows.push(j);
+        }
+    }
+    // Rejection sampling can stall when the complement is almost exhausted;
+    // finish with a linear sweep.
+    if rows.len() < target {
+        for j in (0..begin).chain(end..n) {
+            if !seen[j] {
+                seen[j] = true;
+                rows.push(j);
+                if rows.len() >= target {
+                    break;
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfds_tree::datasets::uniform_cube;
+    use kfds_tree::knn_all;
+
+    fn setup(n: usize) -> (BallTree, NeighborLists) {
+        let p = uniform_cube(n, 3, 42);
+        let t = BallTree::build(&p, 8);
+        let nn = knn_all(&t, 4);
+        (t, nn)
+    }
+
+    #[test]
+    fn rows_outside_node_and_unique() {
+        let (t, nn) = setup(128);
+        let cfg = SkelConfig::default().with_neighbors(4);
+        let cols: Vec<usize> = (16..32).collect();
+        let rows = sample_rows(&t, &nn, &cols, 16, 32, 3, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for &r in &rows {
+            assert!(!(16..32).contains(&r), "row {r} inside the node");
+            assert!(seen.insert(r), "duplicate row {r}");
+        }
+        assert_eq!(rows.len(), (cols.len() + cfg.oversample).min(112));
+    }
+
+    #[test]
+    fn small_complement_returns_everything() {
+        let (t, nn) = setup(64);
+        let cfg = SkelConfig::default();
+        let cols: Vec<usize> = (0..60).collect();
+        let rows = sample_rows(&t, &nn, &cols, 0, 60, 1, &cfg);
+        assert_eq!(rows.len(), 4);
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![60, 61, 62, 63]);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_node() {
+        let (t, nn) = setup(128);
+        let cfg = SkelConfig::default();
+        let cols: Vec<usize> = (0..16).collect();
+        let a = sample_rows(&t, &nn, &cols, 0, 16, 5, &cfg);
+        let b = sample_rows(&t, &nn, &cols, 0, 16, 5, &cfg);
+        assert_eq!(a, b);
+        let c = sample_rows(&t, &nn, &cols, 0, 16, 6, &cfg);
+        assert_ne!(a, c); // different node index reseeds the far field
+    }
+
+    #[test]
+    fn includes_near_neighbors() {
+        let (t, nn) = setup(256);
+        let cfg = SkelConfig::default().with_neighbors(4).with_seed(1);
+        let cols: Vec<usize> = (0..8).collect();
+        let rows = sample_rows(&t, &nn, &cols, 0, 8, 0, &cfg);
+        // Every outside-neighbor of a column point must be sampled (target
+        // is large enough here).
+        for &c in &cols {
+            for &j in nn.neighbors(c).iter().take(4) {
+                let j = j as usize;
+                if j >= 8 {
+                    assert!(rows.contains(&j), "neighbor {j} of {c} missing");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Skeleton storage and the nested projection operators.
+//!
+//! A skeletonized node `α` stores its skeleton points `α̃` (a subset of the
+//! node's points, `s` of them) and the ID projection `P_{α̃ α}` — for a
+//! leaf against the node's own points, for an internal node against the
+//! concatenated children skeletons `[l̃ r̃]` (the *nested* basis that makes
+//! the whole scheme `O(N log N)`). The full `|α| x s` projection
+//! `P_{α α̃}` is never materialized; [`SkeletonTree::apply_p`] telescopes
+//! it through the subtree on the fly.
+
+use crate::config::SkelConfig;
+use kfds_la::blas2::{gemv, gemv_t};
+use kfds_la::Mat;
+use kfds_tree::BallTree;
+
+/// Skeleton data of one tree node.
+#[derive(Clone, Debug)]
+pub struct NodeSkeleton {
+    /// Skeleton points `α̃` as permuted positions (size `s`).
+    pub skeleton: Vec<usize>,
+    /// Projection `P_{α̃ α}` (`s x |α|` for leaves) or `P_{α̃ [l̃r̃]}`
+    /// (`s x (s_l + s_r)` for internal nodes).
+    pub proj: Mat,
+    /// RRQR diagonal estimates of the leading singular values.
+    pub sigma_est: Vec<f64>,
+}
+
+impl NodeSkeleton {
+    /// The skeleton size `s`.
+    pub fn rank(&self) -> usize {
+        self.skeleton.len()
+    }
+}
+
+/// A ball tree with per-node skeletons — the hierarchical representation of
+/// the kernel matrix that both the treecode matvec and the direct solver
+/// consume.
+#[derive(Clone, Debug)]
+pub struct SkeletonTree {
+    tree: BallTree,
+    skeletons: Vec<Option<NodeSkeleton>>,
+    /// Skeletonization frontier `A`: skeletonized nodes whose parent is not.
+    frontier: Vec<usize>,
+    config: SkelConfig,
+}
+
+impl SkeletonTree {
+    /// Assembles a skeleton tree from parts (used by the builder in
+    /// [`crate::skeletonize`]).
+    pub(crate) fn new(
+        tree: BallTree,
+        skeletons: Vec<Option<NodeSkeleton>>,
+        config: SkelConfig,
+    ) -> Self {
+        assert_eq!(tree.nodes().len(), skeletons.len());
+        let mut frontier = Vec::new();
+        for (i, sk) in skeletons.iter().enumerate() {
+            if sk.is_some() {
+                let parent_skel =
+                    tree.node(i).parent.map(|p| skeletons[p].is_some()).unwrap_or(false);
+                if !parent_skel {
+                    frontier.push(i);
+                }
+            }
+        }
+        SkeletonTree { tree, skeletons, frontier, config }
+    }
+
+    /// The underlying ball tree.
+    #[inline]
+    pub fn tree(&self) -> &BallTree {
+        &self.tree
+    }
+
+    /// The skeletonization configuration used to build this tree.
+    #[inline]
+    pub fn config(&self) -> &SkelConfig {
+        &self.config
+    }
+
+    /// Skeleton of node `i`, if it was skeletonized.
+    #[inline]
+    pub fn skeleton(&self, i: usize) -> Option<&NodeSkeleton> {
+        self.skeletons[i].as_ref()
+    }
+
+    /// `true` if node `i` carries a skeleton.
+    #[inline]
+    pub fn is_skeletonized(&self, i: usize) -> bool {
+        self.skeletons[i].is_some()
+    }
+
+    /// The skeletonization frontier `A` (paper Fig. 2): skeletonized nodes
+    /// whose parent is not skeletonized.
+    #[inline]
+    pub fn frontier(&self) -> &[usize] {
+        &self.frontier
+    }
+
+    /// `true` when every node except the root is skeletonized — the
+    /// precondition for the full direct factorization (no level
+    /// restriction in effect).
+    pub fn is_fully_skeletonized(&self) -> bool {
+        (1..self.tree.nodes().len()).all(|i| self.is_skeletonized(i))
+    }
+
+    /// The maximal skeletonized nodes under `node` (inclusive): `node`
+    /// itself if skeletonized, otherwise the union over children. Leaves
+    /// that are not skeletonized are returned in the second list (their
+    /// interactions must stay exact).
+    pub fn coverage(&self, node: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut skel = Vec::new();
+        let mut exact = Vec::new();
+        self.coverage_rec(node, &mut skel, &mut exact);
+        (skel, exact)
+    }
+
+    fn coverage_rec(&self, node: usize, skel: &mut Vec<usize>, exact: &mut Vec<usize>) {
+        if self.is_skeletonized(node) {
+            skel.push(node);
+        } else if let Some((l, r)) = self.tree.node(node).children {
+            self.coverage_rec(l, skel, exact);
+            self.coverage_rec(r, skel, exact);
+        } else {
+            exact.push(node);
+        }
+    }
+
+    /// Applies the telescoped projection `P_{α α̃}` (`|α| x s`) to `z`
+    /// (`len s`), recursing through the nested children bases.
+    ///
+    /// # Panics
+    /// Panics if `node` is not skeletonized or `z.len() != s`.
+    pub fn apply_p(&self, node: usize, z: &[f64]) -> Vec<f64> {
+        let sk = self.skeleton(node).expect("apply_p on unskeletonized node");
+        assert_eq!(z.len(), sk.rank(), "apply_p: skeleton weight length mismatch");
+        // y = P_{α̃ col-basis}^T z.
+        let mut y = vec![0.0; sk.proj.ncols()];
+        gemv_t(1.0, sk.proj.rb(), z, 0.0, &mut y);
+        match self.tree.node(node).children {
+            None => y, // leaf: the column basis is the node's own points
+            Some((l, r)) => {
+                let sl = self.skeleton(l).expect("child skeleton missing").rank();
+                let mut out = self.apply_p(l, &y[..sl]);
+                out.extend(self.apply_p(r, &y[sl..]));
+                out
+            }
+        }
+    }
+
+    /// Applies the transposed telescoped projection `P_{α̃ α}` (`s x |α|`)
+    /// to `x` (`len |α|`).
+    ///
+    /// # Panics
+    /// Panics if `node` is not skeletonized or `x.len() != |α|`.
+    pub fn apply_p_t(&self, node: usize, x: &[f64]) -> Vec<f64> {
+        let sk = self.skeleton(node).expect("apply_p_t on unskeletonized node");
+        let nd = self.tree.node(node);
+        assert_eq!(x.len(), nd.len(), "apply_p_t: point vector length mismatch");
+        let y: Vec<f64> = match nd.children {
+            None => x.to_vec(),
+            Some((l, r)) => {
+                let nl = self.tree.node(l).len();
+                let mut y = self.apply_p_t(l, &x[..nl]);
+                y.extend(self.apply_p_t(r, &x[nl..]));
+                y
+            }
+        };
+        let mut out = vec![0.0; sk.rank()];
+        gemv(1.0, sk.proj.rb(), &y, 0.0, &mut out);
+        out
+    }
+
+    /// Total number of stored skeleton points across all nodes.
+    pub fn total_skeleton_size(&self) -> usize {
+        self.skeletons.iter().flatten().map(|s| s.rank()).sum()
+    }
+
+    /// Per-level `(min, mean, max)` skeleton ranks, for reports.
+    pub fn rank_stats(&self) -> Vec<(usize, f64, usize)> {
+        let depth = self.tree.depth();
+        let mut out = Vec::with_capacity(depth + 1);
+        for l in 0..=depth {
+            let ranks: Vec<usize> = self
+                .tree
+                .nodes_at_level(l)
+                .iter()
+                .filter_map(|&i| self.skeleton(i).map(|s| s.rank()))
+                .collect();
+            if ranks.is_empty() {
+                out.push((0, 0.0, 0));
+            } else {
+                let mn = *ranks.iter().min().expect("non-empty");
+                let mx = *ranks.iter().max().expect("non-empty");
+                let mean = ranks.iter().sum::<usize>() as f64 / ranks.len() as f64;
+                out.push((mn, mean, mx));
+            }
+        }
+        out
+    }
+}

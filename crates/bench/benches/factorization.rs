@@ -1,0 +1,38 @@
+//! Criterion benchmarks: the O(N log N) factorization vs the O(N log² N)
+//! baseline (Table III's measurement core at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfds_askit::{skeletonize, SkelConfig};
+use kfds_core::{factorize, factorize_baseline, SolverConfig};
+use kfds_kernels::Gaussian;
+use kfds_tree::datasets::normal_embedded;
+use kfds_tree::BallTree;
+use std::hint::black_box;
+
+fn bench_factorization(c: &mut Criterion) {
+    let n = 2048;
+    let points = normal_embedded(n, 3, 8, 0.05, 5);
+    let kernel = Gaussian::new(1.5);
+    let tree = BallTree::build(&points, 64);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(0.0).with_max_rank(48).with_neighbors(8),
+    );
+    let cfg = SolverConfig::default().with_lambda(1.0);
+
+    let mut group = c.benchmark_group("factorization_2K");
+    group.sample_size(10);
+    group.bench_function("telescoped_nlogn", |b| {
+        b.iter(|| black_box(factorize(&st, &kernel, cfg).expect("factorize").stats().flops))
+    });
+    group.bench_function("baseline_nlog2n", |b| {
+        b.iter(|| {
+            black_box(factorize_baseline(&st, &kernel, cfg).expect("baseline").stats().flops)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for the kernel-summation engines (Table I's
+//! measurement core at a statistically robust micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kfds_kernels::{sum_fused, sum_reference, Gaussian};
+use kfds_tree::datasets::uniform_cube;
+use std::hint::black_box;
+
+fn bench_summation(c: &mut Criterion) {
+    let n = 1024;
+    let kernel = Gaussian::new(1.0);
+    let mut group = c.benchmark_group("kernel_summation_1K");
+    group.sample_size(10);
+    for d in [4usize, 36, 132] {
+        let pts = uniform_cube(2 * n, d, d as u64);
+        let rows: Vec<usize> = (0..n).collect();
+        let cols: Vec<usize> = (n..2 * n).collect();
+        let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut w = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("reference_two_pass", d), &d, |b, _| {
+            b.iter(|| {
+                sum_reference(&kernel, &pts, &rows, &cols, black_box(&u), &mut w);
+                black_box(w[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gsks_fused", d), &d, |b, _| {
+            b.iter(|| {
+                sum_fused(&kernel, &pts, &rows, &cols, black_box(&u), &mut w);
+                black_box(w[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the dense linear algebra substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kfds_la::{gemm, ColPivQr, Lu, Mat, Trans};
+use std::hint::black_box;
+
+fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    Mat::from_fn(m, n, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let a = rand_mat(n, n, 1);
+        let b = rand_mat(n, n, 2);
+        let mut out = Mat::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("nxn", n), &n, |bch, _| {
+            bch.iter(|| {
+                gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 0.0, out.rb_mut());
+                black_box(out.as_slice()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let mut a = rand_mat(n, n, 3);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        group.bench_with_input(BenchmarkId::new("factor", n), &n, |bch, _| {
+            bch.iter(|| black_box(Lu::factor(a.clone()).expect("LU").min_pivot_ratio()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpqr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpqr");
+    group.sample_size(10);
+    // Tall skinny blocks, the skeletonization workload shape.
+    let a = rand_mat(256, 128, 5);
+    group.bench_function("truncated_256x128", |bch| {
+        bch.iter(|| black_box(ColPivQr::factor_truncated(a.clone(), 1e-6, 64).rank()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_lu, bench_cpqr);
+criterion_main!(benches);

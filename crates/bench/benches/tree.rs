@@ -1,0 +1,23 @@
+//! Criterion micro-benchmarks for the geometric substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfds_tree::datasets::normal_embedded;
+use kfds_tree::{knn_all, BallTree};
+use std::hint::black_box;
+
+fn bench_tree(c: &mut Criterion) {
+    let pts = normal_embedded(8192, 4, 16, 0.05, 9);
+    let mut group = c.benchmark_group("tree");
+    group.sample_size(10);
+    group.bench_function("build_8K", |b| {
+        b.iter(|| black_box(BallTree::build(&pts, 128).depth()))
+    });
+    let tree = BallTree::build(&pts, 128);
+    group.bench_function("knn16_8K", |b| {
+        b.iter(|| black_box(knn_all(&tree, 16).k()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Table II** — datasets and kernel-ridge-regression accuracy.
+//!
+//! Paper: real datasets (COVTYPE, SUSY, MNIST2M, HIGGS, MRI, NORMAL) with
+//! tuned `(h, λ)` and held-out binary classification accuracy. Here each
+//! dataset is a seeded synthetic stand-in matching the `(d, intrinsic
+//! dimension)` regime (see `DESIGN.md`); labels come from a smooth
+//! nonlinear decision function so a kernel model is required. We report
+//! accuracy both at the paper's `(h, λ)` (which were tuned to the *real*
+//! data) and at a bandwidth scaled to the stand-in's geometry.
+//!
+//! ```sh
+//! cargo run --release -p kfds-bench --bin table2_datasets [-- --scale 2]
+//! ```
+
+use kfds_bench::{arg_f64, header, row, scaled_bandwidth, standin};
+use kfds_core::{KernelRidge, SolverConfig};
+use kfds_askit::SkelConfig;
+use kfds_kernels::Gaussian;
+use kfds_tree::PointSet;
+
+/// Smooth nonlinear labels on normalized coordinates.
+fn label(points: &PointSet) -> Vec<f64> {
+    (0..points.len())
+        .map(|i| {
+            let x = points.point(i);
+            let a = (2.0 * x[0]).sin() + x[1 % x.len()] * x[2 % x.len()];
+            if a >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 1.0);
+    let n = (4000.0 * scale) as usize;
+    println!("# Table II — dataset stand-ins and ridge-regression accuracy");
+    println!("# N scaled to {n} (paper: 0.1M – 10.5M); labels: smooth nonlinear function\n");
+    header(&["dataset", "N", "d", "h(paper)", "lambda", "Acc(paper h)", "h(scaled)", "Acc(scaled h)"]);
+
+    for name in ["COVTYPE", "SUSY", "MNIST2M", "HIGGS", "MRI", "NORMAL"] {
+        let s = standin(name, n, 0xda7a + name.len() as u64);
+        let labels = label(&s.points);
+        let n_train = n * 9 / 10;
+        let train = s.points.select(&(0..n_train).collect::<Vec<_>>());
+        let test = s.points.select(&(n_train..n).collect::<Vec<_>>());
+        let y_train = &labels[..n_train];
+        let y_test = &labels[n_train..];
+
+        let mut accs = Vec::new();
+        let h_scaled = scaled_bandwidth(s.points.dim(), 0.3);
+        for h in [s.h, h_scaled] {
+            let kernel = Gaussian::new(h);
+            let skel =
+                SkelConfig::default().with_tol(1e-5).with_max_rank(128).with_neighbors(16);
+            let solver = SolverConfig::default().with_lambda(s.lambda);
+            match KernelRidge::train(&train, y_train, kernel, 128, skel, solver) {
+                Ok((model, _)) => accs.push(format!("{:.0}%", 100.0 * model.accuracy(&test, y_test))),
+                Err(e) => accs.push(format!("fail({e})")),
+            }
+        }
+        row(&[
+            s.name.to_string(),
+            n.to_string(),
+            s.points.dim().to_string(),
+            format!("{}", s.h),
+            format!("{}", s.lambda),
+            accs[0].clone(),
+            format!("{h_scaled:.2}"),
+            accs[1].clone(),
+        ]);
+    }
+    println!("\n# paper accuracies (real data): COVTYPE 96%, SUSY 78%, MNIST2M 100%, HIGGS 73%.");
+    println!("# stand-ins share geometry, not content; the scaled-h column shows the");
+    println!("# solver achieving high accuracy when the bandwidth matches the data.");
+}

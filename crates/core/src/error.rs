@@ -1,0 +1,51 @@
+//! Solver error types.
+
+use std::fmt;
+
+/// Failure modes of the direct solver.
+#[derive(Clone, Debug)]
+pub enum SolverError {
+    /// A diagonal or reduced-system LU hit an exactly-singular pivot at
+    /// tree node `node` — the hard form of the §III instability (λ too
+    /// small for the spectrum of the block).
+    Factorization {
+        /// Tree node whose block failed to factorize.
+        node: usize,
+        /// Underlying dense-LA error.
+        source: kfds_la::LaError,
+    },
+    /// The operation requires a fully skeletonized tree (no level
+    /// restriction), but node `node` has no skeleton.
+    NotSkeletonized {
+        /// Offending tree node.
+        node: usize,
+    },
+    /// The hybrid solver requires every leaf to lie inside the
+    /// skeletonization frontier.
+    FrontierIncomplete,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Factorization { node, source } => {
+                write!(f, "factorization failed at tree node {node}: {source}")
+            }
+            SolverError::NotSkeletonized { node } => {
+                write!(f, "tree node {node} is not skeletonized (level restriction in effect?)")
+            }
+            SolverError::FrontierIncomplete => {
+                write!(f, "skeletonization frontier does not cover all leaves")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Factorization { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! The `O(N log N)` direct factorization — Algorithm II.2 with the
+//! telescoping of eq. (10).
+//!
+//! Bottom-up over the tree: leaves LU-factorize `λI + K_αα` and solve for
+//! `P̂_{αα̃} = (λI+K_αα)^{-1} P_{αα̃}`; an internal node `α` forms and
+//! LU-factorizes the reduced system (eq. 8)
+//!
+//! ```text
+//! Z_α = [ I                  K_{l̃r} P̂_{rr̃} ]
+//!       [ K_{r̃l} P̂_{ll̃}   I               ]
+//! ```
+//!
+//! and *telescopes* `P̂_{αα̃}` from the children's `P̂` factors alone
+//! (eq. 10) — no subtree traversal, which is precisely the improvement
+//! over the `O(N log² N)` scheme of \[36\] (implemented in
+//! [`crate::baseline`] for the Table III comparison).
+
+use crate::config::{FactorStats, LeafFactorization, SolverConfig, StorageMode, WStorage};
+use crate::error::SolverError;
+use kfds_askit::SkeletonTree;
+use kfds_kernels::flops;
+use kfds_kernels::{eval_block, eval_symmetric, sum_fused_multi, sum_reference_multi, Kernel};
+use kfds_la::{gemm, Cholesky, Lu, Mat, Trans};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A factorized leaf diagonal block `λI + K_αα`.
+#[derive(Debug)]
+pub enum LeafFactor {
+    /// Partial-pivoted LU.
+    Lu(Lu),
+    /// Cholesky (`λI + K` is SPD for PSD kernels).
+    Cholesky(Cholesky),
+}
+
+impl LeafFactor {
+    /// Solves the leaf block in place.
+    pub fn solve_inplace(&self, b: &mut [f64]) {
+        match self {
+            LeafFactor::Lu(f) => f.solve_inplace(b),
+            LeafFactor::Cholesky(f) => f.solve_inplace(b),
+        }
+    }
+
+    /// Multi-RHS solve in place.
+    pub fn solve_mat_inplace(&self, b: &mut Mat) {
+        match self {
+            LeafFactor::Lu(f) => f.solve_mat_inplace(b),
+            LeafFactor::Cholesky(f) => f.solve_mat_inplace(b),
+        }
+    }
+
+    /// Conditioning proxy (see the individual factorizations).
+    pub fn min_pivot_ratio(&self) -> f64 {
+        match self {
+            LeafFactor::Lu(f) => f.min_pivot_ratio(),
+            LeafFactor::Cholesky(f) => f.min_pivot_ratio(),
+        }
+    }
+}
+
+/// Factors stored at one tree node.
+#[derive(Debug, Default)]
+pub struct NodeFactors {
+    /// Factorization of `λI + K_αα` (leaves only).
+    pub leaf_lu: Option<LeafFactor>,
+    /// LU of the reduced system `Z_α` (internal nodes in the factored
+    /// region).
+    pub z_lu: Option<Lu>,
+    /// `P̂_{αα̃} = (λI + K̃_αα)^{-1} P_{αα̃}` (`|α| x s`), for
+    /// skeletonized nodes.
+    pub p_hat: Option<Mat>,
+    /// Stored `K_{l̃ r}` (`s_l x |r|`) — [`StorageMode::StoredGemv`] only.
+    pub v_lr: Option<Mat>,
+    /// Stored `K_{r̃ l}` (`s_r x |l|`) — [`StorageMode::StoredGemv`] only.
+    pub v_rl: Option<Mat>,
+    /// Coupling blocks `B_l = K_{l̃r}P̂_{rr̃}`, `B_r = K_{r̃l}P̂_{ll̃}`
+    /// (small, `s x s`) — retained in [`WStorage::Recompute`] so `P̂`
+    /// applications can telescope through eq. (10) without storing `P̂`.
+    pub b_l: Option<Mat>,
+    /// See [`NodeFactors::b_l`].
+    pub b_r: Option<Mat>,
+}
+
+/// The factorization of `λI + K̃` over a skeleton tree.
+pub struct FactorTree<'a, K: Kernel> {
+    pub(crate) st: &'a SkeletonTree,
+    pub(crate) kernel: &'a K,
+    pub(crate) config: SolverConfig,
+    pub(crate) factors: Vec<NodeFactors>,
+    stats: FactorStats,
+}
+
+/// Per-node accounting folded into [`FactorStats`].
+#[derive(Default, Clone, Copy)]
+pub(crate) struct NodeCost {
+    pub flops: f64,
+    pub min_pivot: f64,
+    pub unstable: usize,
+    pub bytes: usize,
+}
+
+impl<'a, K: Kernel> FactorTree<'a, K> {
+    /// Assembles a factor tree from parts (used by the baseline builder).
+    pub(crate) fn from_parts(
+        st: &'a SkeletonTree,
+        kernel: &'a K,
+        config: SolverConfig,
+        factors: Vec<NodeFactors>,
+        stats: FactorStats,
+    ) -> Self {
+        FactorTree { st, kernel, config, factors, stats }
+    }
+
+    /// The skeleton tree this factorization refers to.
+    pub fn skeleton_tree(&self) -> &'a SkeletonTree {
+        self.st
+    }
+
+    /// The kernel function.
+    pub fn kernel(&self) -> &'a K {
+        self.kernel
+    }
+
+    /// The solver configuration (λ, storage mode).
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Factorization diagnostics.
+    pub fn stats(&self) -> &FactorStats {
+        &self.stats
+    }
+
+    /// Per-node factors (indexed like the tree's nodes).
+    pub fn factors(&self) -> &[NodeFactors] {
+        &self.factors
+    }
+
+    /// `true` when the whole matrix can be solved directly (the root's
+    /// reduced system exists).
+    pub fn is_complete(&self) -> bool {
+        let root = self.st.tree().root();
+        self.factors[root].z_lu.is_some() || self.st.tree().node(root).is_leaf()
+    }
+}
+
+/// Runs the `O(N log N)` factorization of `λI + K̃`.
+///
+/// All nodes inside the skeletonization frontier are factorized; with a
+/// fully skeletonized tree (no level restriction) this includes the root's
+/// reduced system and the result is a complete direct factorization. With
+/// level restriction the result is the partial factorization consumed by
+/// the hybrid solver.
+pub fn factorize<'a, K: Kernel>(
+    st: &'a SkeletonTree,
+    kernel: &'a K,
+    config: SolverConfig,
+) -> Result<FactorTree<'a, K>, SolverError> {
+    let t0 = Instant::now();
+    let tree = st.tree();
+    let n_nodes = tree.nodes().len();
+    let mut factors: Vec<NodeFactors> = (0..n_nodes).map(|_| NodeFactors::default()).collect();
+    let mut total = NodeCost { min_pivot: f64::INFINITY, ..Default::default() };
+
+    for level in (0..=tree.depth()).rev() {
+        let level_nodes: Vec<usize> = tree
+            .nodes_at_level(level)
+            .iter()
+            .copied()
+            .filter(|&i| in_factored_region(st, i))
+            .collect();
+        // Nodes of a level are independent; parallelize across them. Each
+        // node only reads children factors from deeper (already final)
+        // levels, so we can hand out disjoint &mut via a scatter.
+        let results: Vec<(usize, Result<(NodeFactors, NodeCost), SolverError>)> = level_nodes
+            .par_iter()
+            .map(|&i| (i, factor_node(st, kernel, &config, &factors, i)))
+            .collect();
+        for (i, res) in results {
+            let (nf, cost) = res?;
+            total.flops += cost.flops;
+            total.min_pivot = total.min_pivot.min(cost.min_pivot);
+            total.unstable += cost.unstable;
+            total.bytes += cost.bytes;
+            factors[i] = nf;
+        }
+        // Recompute-W mode: children's internal P̂ are only needed while
+        // building this level; drop them to keep the retained memory at
+        // O(sN) (leaves only) instead of O(sN log N).
+        if config.w_storage == WStorage::Recompute {
+            for &i in tree.nodes_at_level(level) {
+                if let Some((l, r)) = tree.node(i).children {
+                    for c in [l, r] {
+                        if tree.node(c).children.is_some() {
+                            if let Some(p) = factors[c].p_hat.take() {
+                                total.bytes -= p.nrows() * p.ncols() * 8;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let max_rank = (0..n_nodes).filter_map(|i| st.skeleton(i)).map(|s| s.rank()).max().unwrap_or(0);
+    let stats = FactorStats {
+        seconds: t0.elapsed().as_secs_f64(),
+        flops: total.flops,
+        min_pivot_ratio: if total.min_pivot.is_finite() { total.min_pivot } else { 1.0 },
+        unstable_factorizations: total.unstable,
+        max_rank,
+        stored_bytes: total.bytes,
+    };
+    Ok(FactorTree { st, kernel, config, factors, stats })
+}
+
+/// Factorizes only the subtree rooted at `root_node` (used by the
+/// distributed factorization: each rank factorizes its own subtree with
+/// Algorithm II.2 before the distributed levels take over). The returned
+/// [`FactorTree`] has factors only for the subtree's nodes.
+pub(crate) fn factor_subtree<'a, K: Kernel>(
+    st: &'a SkeletonTree,
+    kernel: &'a K,
+    config: SolverConfig,
+    root_node: usize,
+) -> Result<FactorTree<'a, K>, SolverError> {
+    let t0 = Instant::now();
+    let tree = st.tree();
+    let n_nodes = tree.nodes().len();
+    let mut factors: Vec<NodeFactors> = (0..n_nodes).map(|_| NodeFactors::default()).collect();
+    let mut total = NodeCost { min_pivot: f64::INFINITY, ..Default::default() };
+
+    // Collect subtree nodes grouped by level.
+    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); tree.depth() + 1];
+    let mut stack = vec![root_node];
+    while let Some(i) = stack.pop() {
+        by_level[tree.node(i).level].push(i);
+        if let Some((l, r)) = tree.node(i).children {
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+
+    for level in (0..=tree.depth()).rev() {
+        let level_nodes: Vec<usize> =
+            by_level[level].iter().copied().filter(|&i| in_factored_region(st, i)).collect();
+        let results: Vec<(usize, Result<(NodeFactors, NodeCost), SolverError>)> = level_nodes
+            .par_iter()
+            .map(|&i| (i, factor_node(st, kernel, &config, &factors, i)))
+            .collect();
+        for (i, res) in results {
+            let (nf, cost) = res?;
+            total.flops += cost.flops;
+            total.min_pivot = total.min_pivot.min(cost.min_pivot);
+            total.unstable += cost.unstable;
+            total.bytes += cost.bytes;
+            factors[i] = nf;
+        }
+    }
+    let stats = FactorStats {
+        seconds: t0.elapsed().as_secs_f64(),
+        flops: total.flops,
+        min_pivot_ratio: if total.min_pivot.is_finite() { total.min_pivot } else { 1.0 },
+        unstable_factorizations: total.unstable,
+        max_rank: 0,
+        stored_bytes: total.bytes,
+    };
+    Ok(FactorTree { st, kernel, config, factors, stats })
+}
+
+/// A node is factorized iff it is skeletonized, or it is the root with both
+/// children skeletonized (the root needs only its reduced system), or it is
+/// a lone root-leaf (tiny trees).
+pub(crate) fn in_factored_region(st: &SkeletonTree, node: usize) -> bool {
+    if st.is_skeletonized(node) {
+        return true;
+    }
+    let tree = st.tree();
+    if node != tree.root() {
+        return false;
+    }
+    match tree.node(node).children {
+        Some((l, r)) => st.is_skeletonized(l) && st.is_skeletonized(r),
+        None => true, // single-leaf tree: just a dense LU
+    }
+}
+
+fn factor_node<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    config: &SolverConfig,
+    factors: &[NodeFactors],
+    node: usize,
+) -> Result<(NodeFactors, NodeCost), SolverError> {
+    let tree = st.tree();
+    let nd = tree.node(node);
+    match nd.children {
+        None => factor_leaf(st, kernel, config, node),
+        Some((l, r)) => {
+            let p_hat_l = factors[l].p_hat.as_ref().expect("child P-hat missing");
+            let p_hat_r = factors[r].p_hat.as_ref().expect("child P-hat missing");
+            factor_internal(st, kernel, config, p_hat_l, p_hat_r, node, l, r)
+        }
+    }
+}
+
+/// Leaf factorization, shared with the baseline (both algorithms treat
+/// leaves identically).
+pub(crate) fn factor_leaf_for_baseline<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    config: &SolverConfig,
+    node: usize,
+) -> Result<(NodeFactors, NodeCost), SolverError> {
+    factor_leaf(st, kernel, config, node)
+}
+
+fn factor_leaf<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    config: &SolverConfig,
+    node: usize,
+) -> Result<(NodeFactors, NodeCost), SolverError> {
+    let tree = st.tree();
+    let nd = tree.node(node);
+    let m = nd.len();
+    let d = tree.points().dim();
+    let mut kaa = eval_symmetric(kernel, tree.points(), nd.range());
+    for i in 0..m {
+        kaa[(i, i)] += config.lambda;
+    }
+    let (leaf, factor_flops) = match config.leaf {
+        LeafFactorization::Lu => {
+            let lu = Lu::factor(kaa).map_err(|e| SolverError::Factorization { node, source: e })?;
+            (LeafFactor::Lu(lu), flops::lu_flops(m))
+        }
+        LeafFactorization::Cholesky => {
+            let ch = Cholesky::factor(kaa)
+                .map_err(|e| SolverError::Factorization { node, source: e })?;
+            (LeafFactor::Cholesky(ch), flops::lu_flops(m) / 2.0)
+        }
+    };
+    let mut cost = NodeCost {
+        flops: factor_flops + flops::summation_flops(m, m, d, kernel.flops_per_eval()),
+        min_pivot: leaf.min_pivot_ratio(),
+        unstable: usize::from(leaf.min_pivot_ratio() < config.stability_threshold),
+        bytes: m * m * 8,
+    };
+    // P̂_{αα̃} = (λI + K_αα)^{-1} P_{αα̃}; for root-leaf trees there is no
+    // skeleton and no P̂.
+    let p_hat = match st.skeleton(node) {
+        Some(sk) => {
+            let s = sk.rank();
+            let mut p = Mat::zeros(m, s);
+            for j in 0..s {
+                for i in 0..m {
+                    p[(i, j)] = sk.proj[(j, i)];
+                }
+            }
+            leaf.solve_mat_inplace(&mut p);
+            cost.flops += flops::lu_solve_flops(m, s);
+            cost.bytes += m * s * 8;
+            Some(p)
+        }
+        None => None,
+    };
+    Ok((NodeFactors { leaf_lu: Some(leaf), p_hat, ..Default::default() }, cost))
+}
+
+/// The reduced system of an internal node: off-diagonal coupling blocks
+/// `B_l = K_{l̃r} P̂_{rr̃}`, `B_r = K_{r̃l} P̂_{ll̃}`, the LU of
+/// `Z = I + VW`, and (stored mode only) the retained kernel blocks.
+pub(crate) struct ReducedSystem {
+    pub b_l: Mat,
+    pub b_r: Mat,
+    pub z_lu: Lu,
+    pub v_lr: Option<Mat>,
+    pub v_rl: Option<Mat>,
+    pub cost: NodeCost,
+}
+
+/// Forms and factorizes the reduced system `Z_α` (eq. 8). Shared between
+/// the `O(N log N)` factorization and the `O(N log² N)` baseline — both
+/// construct *identical* reduced systems.
+pub(crate) fn build_reduced_system<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    config: &SolverConfig,
+    p_hat_l: &Mat,
+    p_hat_r: &Mat,
+    node: usize,
+    l: usize,
+    r: usize,
+) -> Result<ReducedSystem, SolverError> {
+    let tree = st.tree();
+    let pts = tree.points();
+    let d = pts.dim();
+    let skl = st.skeleton(l).expect("factorable node needs skeletonized children");
+    let skr = st.skeleton(r).expect("factorable node needs skeletonized children");
+    let (sl, sr) = (skl.rank(), skr.rank());
+    let (nl, nr) = (tree.node(l).len(), tree.node(r).len());
+    let r_cols: Vec<usize> = tree.node(r).range().collect();
+    let l_cols: Vec<usize> = tree.node(l).range().collect();
+    let mut cost = NodeCost { min_pivot: f64::INFINITY, ..Default::default() };
+
+    // B_l = K_{l̃ r} P̂_{rr̃} (s_l x s_r) and B_r = K_{r̃ l} P̂_{ll̃}.
+    let mut b_l = Mat::zeros(sl, sr);
+    let mut b_r = Mat::zeros(sr, sl);
+    let mut v_lr = None;
+    let mut v_rl = None;
+    match config.storage {
+        StorageMode::StoredGemv => {
+            let klr = eval_block(kernel, pts, &skl.skeleton, &r_cols);
+            let krl = eval_block(kernel, pts, &skr.skeleton, &l_cols);
+            gemm(1.0, klr.rb(), Trans::No, p_hat_r.rb(), Trans::No, 0.0, b_l.rb_mut());
+            gemm(1.0, krl.rb(), Trans::No, p_hat_l.rb(), Trans::No, 0.0, b_r.rb_mut());
+            cost.bytes += (sl * nr + sr * nl) * 8;
+            cost.flops += flops::gemm_flops(sl, sr, nr) + flops::gemm_flops(sr, sl, nl);
+            v_lr = Some(klr);
+            v_rl = Some(krl);
+        }
+        StorageMode::RecomputeGemm => {
+            sum_reference_multi(kernel, pts, &skl.skeleton, &r_cols, p_hat_r.rb(), b_l.rb_mut());
+            sum_reference_multi(kernel, pts, &skr.skeleton, &l_cols, p_hat_l.rb(), b_r.rb_mut());
+        }
+        StorageMode::Gsks => {
+            sum_fused_multi(kernel, pts, &skl.skeleton, &r_cols, p_hat_r.rb(), b_l.rb_mut());
+            sum_fused_multi(kernel, pts, &skr.skeleton, &l_cols, p_hat_l.rb(), b_r.rb_mut());
+        }
+    }
+    if !matches!(config.storage, StorageMode::StoredGemv) {
+        // One kernel-block evaluation each, plus the multi-RHS reduction.
+        cost.flops += flops::summation_flops(sl, nr, d, kernel.flops_per_eval())
+            + flops::summation_flops(sr, nl, d, kernel.flops_per_eval())
+            + 2.0 * (sl * nr * sr + sr * nl * sl) as f64;
+    }
+
+    // Z = I + V W (eq. 8), LU-factorized.
+    let zdim = sl + sr;
+    let mut z = Mat::identity(zdim);
+    for j in 0..sr {
+        for i in 0..sl {
+            z[(i, sl + j)] = b_l[(i, j)];
+        }
+    }
+    for j in 0..sl {
+        for i in 0..sr {
+            z[(sl + i, j)] = b_r[(i, j)];
+        }
+    }
+    let z_lu = Lu::factor(z).map_err(|e| SolverError::Factorization { node, source: e })?;
+    cost.flops += flops::lu_flops(zdim);
+    cost.bytes += zdim * zdim * 8;
+    cost.min_pivot = cost.min_pivot.min(z_lu.min_pivot_ratio());
+    cost.unstable += usize::from(z_lu.min_pivot_ratio() < config.stability_threshold);
+    Ok(ReducedSystem { b_l, b_r, z_lu, v_lr, v_rl, cost })
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn factor_internal<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    config: &SolverConfig,
+    p_hat_l: &Mat,
+    p_hat_r: &Mat,
+    node: usize,
+    l: usize,
+    r: usize,
+) -> Result<(NodeFactors, NodeCost), SolverError> {
+    let tree = st.tree();
+    let skl = st.skeleton(l).expect("factorable node needs skeletonized children");
+    let skr = st.skeleton(r).expect("factorable node needs skeletonized children");
+    let (sl, sr) = (skl.rank(), skr.rank());
+    let (nl, nr) = (tree.node(l).len(), tree.node(r).len());
+    let ReducedSystem { b_l, b_r, z_lu, v_lr, v_rl, mut cost } =
+        build_reduced_system(st, kernel, config, p_hat_l, p_hat_r, node, l, r)?;
+    let zdim = sl + sr;
+    let keep_b = config.w_storage == WStorage::Recompute;
+    if keep_b {
+        cost.bytes += (sl * sr * 2) * 8;
+    }
+
+    // Telescope P̂_{αα̃} (eq. 10) from the children's P̂ — the O(N log N)
+    // step that replaces [36]'s subtree traversal.
+    let p_hat = match st.skeleton(node) {
+        Some(sk) => {
+            let s = sk.rank();
+            // Pt = P_{[l̃r̃]α̃} ((s_l + s_r) x s).
+            let mut pt = Mat::zeros(zdim, s);
+            for j in 0..s {
+                for i in 0..zdim {
+                    pt[(i, j)] = sk.proj[(j, i)];
+                }
+            }
+            let pt_top = pt.submatrix(0..sl, 0..s).to_mat();
+            let pt_bot = pt.submatrix(sl..zdim, 0..s).to_mat();
+            // C = (Z − I) Pt, via the already-formed off-diagonal blocks.
+            let mut c = Mat::zeros(zdim, s);
+            gemm(1.0, b_l.rb(), Trans::No, pt_bot.rb(), Trans::No, 0.0, c.rb_mut().submatrix_mut(0..sl, 0..s));
+            gemm(1.0, b_r.rb(), Trans::No, pt_top.rb(), Trans::No, 0.0, c.rb_mut().submatrix_mut(sl..zdim, 0..s));
+            // Y = Z^{-1} C.
+            z_lu.solve_mat_inplace(&mut c);
+            cost.flops += flops::gemm_flops(sl, s, sr)
+                + flops::gemm_flops(sr, s, sl)
+                + flops::lu_solve_flops(zdim, s);
+            // M_c = Pt_c − Y_c; P̂_α = [P̂_l M_l ; P̂_r M_r].
+            let mut m_l = pt_top;
+            let mut m_r = pt_bot;
+            for j in 0..s {
+                for i in 0..sl {
+                    m_l[(i, j)] -= c[(i, j)];
+                }
+                for i in 0..sr {
+                    m_r[(i, j)] -= c[(sl + i, j)];
+                }
+            }
+            let mut p = Mat::zeros(nl + nr, s);
+            gemm(1.0, p_hat_l.rb(), Trans::No, m_l.rb(), Trans::No, 0.0, p.rb_mut().submatrix_mut(0..nl, 0..s));
+            gemm(1.0, p_hat_r.rb(), Trans::No, m_r.rb(), Trans::No, 0.0, p.rb_mut().submatrix_mut(nl..nl + nr, 0..s));
+            cost.flops += flops::gemm_flops(nl, s, sl) + flops::gemm_flops(nr, s, sr);
+            cost.bytes += (nl + nr) * s * 8;
+            Some(p)
+        }
+        None => None,
+    };
+
+    let (b_l_keep, b_r_keep) = if keep_b { (Some(b_l), Some(b_r)) } else { (None, None) };
+    Ok((
+        NodeFactors {
+            z_lu: Some(z_lu),
+            p_hat,
+            v_lr,
+            v_rl,
+            b_l: b_l_keep,
+            b_r: b_r_keep,
+            ..Default::default()
+        },
+        cost,
+    ))
+}

@@ -1,0 +1,240 @@
+//! The hybrid direct/iterative solver — Algorithms II.6–II.8 (§II-C).
+//!
+//! With level restriction the frontier `A` holds the deepest skeletonized
+//! ancestors; `λI + K̃ = D (I + W V)` where `D = blockdiag(λI + K̃_φφ)`
+//! over `φ ∈ A` (factorized directly), `W = D^{-1} blockdiag(P_{φφ̃})`
+//! (the frontier `P̂` factors, Algorithm II.7), and `V` stacks the
+//! skeleton-row blocks `K_{φ̃, X∖φ}` (Algorithm II.8, evaluated
+//! matrix-free — the storage for these blocks above the frontier is
+//! exactly what the hybrid scheme avoids). The reduced system
+//! `(I + V W) z = V D^{-1} u` of size `Σ_φ s_φ ≈ 2^L s` is solved by
+//! GMRES; then `x = D^{-1}u − W z`.
+
+use crate::error::SolverError;
+use crate::factor::FactorTree;
+use kfds_kernels::{sum_fused, Kernel};
+use kfds_krylov::{gmres, FnOp, GmresOptions, SolveResult};
+use rayon::prelude::*;
+
+/// A level-restricted hybrid solver built on a partial factorization.
+pub struct HybridSolver<'a, 'f, K: Kernel> {
+    ft: &'f FactorTree<'a, K>,
+    /// Frontier nodes sorted by their point range.
+    frontier: Vec<usize>,
+    /// Prefix offsets of each frontier node's skeleton block in the
+    /// reduced (skeleton) vector space.
+    offsets: Vec<usize>,
+    /// Total reduced dimension `Σ_φ s_φ`.
+    reduced_dim: usize,
+}
+
+/// Outcome of a hybrid solve.
+#[derive(Clone, Debug)]
+pub struct HybridOutcome {
+    /// Solution in the tree's permuted ordering.
+    pub x: Vec<f64>,
+    /// GMRES result for the reduced system (iterations, trace).
+    pub gmres: SolveResult,
+}
+
+impl<'a, 'f, K: Kernel> HybridSolver<'a, 'f, K> {
+    /// Builds the hybrid solver from a (typically partial) factorization.
+    ///
+    /// # Errors
+    /// [`SolverError::FrontierIncomplete`] if some leaf lies outside the
+    /// skeletonization frontier (then `D` would not cover the matrix).
+    pub fn new(ft: &'f FactorTree<'a, K>) -> Result<Self, SolverError> {
+        let st = ft.skeleton_tree();
+        let tree = st.tree();
+        for leaf in tree.leaves() {
+            if !st.is_skeletonized(leaf) {
+                return Err(SolverError::FrontierIncomplete);
+            }
+        }
+        let mut frontier = st.frontier().to_vec();
+        frontier.sort_by_key(|&i| tree.node(i).begin);
+        // The frontier must partition the point set.
+        let mut cursor = 0;
+        for &f in &frontier {
+            if tree.node(f).begin != cursor {
+                return Err(SolverError::FrontierIncomplete);
+            }
+            cursor = tree.node(f).end;
+        }
+        if cursor != tree.points().len() {
+            return Err(SolverError::FrontierIncomplete);
+        }
+        let mut offsets = Vec::with_capacity(frontier.len() + 1);
+        let mut acc = 0;
+        for &f in &frontier {
+            offsets.push(acc);
+            acc += st.skeleton(f).expect("frontier node skeletonized").rank();
+        }
+        offsets.push(acc);
+        Ok(HybridSolver { ft, frontier, offsets, reduced_dim: acc })
+    }
+
+    /// Size of the iteratively solved reduced system (`≈ 2^L s`).
+    pub fn reduced_dim(&self) -> usize {
+        self.reduced_dim
+    }
+
+    /// The skeleton tree underlying the factorization.
+    pub fn skeleton_tree(&self) -> &'a kfds_askit::SkeletonTree {
+        self.ft.skeleton_tree()
+    }
+
+    /// The frontier nodes, sorted by point range.
+    pub fn frontier(&self) -> &[usize] {
+        &self.frontier
+    }
+
+    /// `D^{-1} u` in place: independent direct solves on the frontier
+    /// subtrees (Algorithm II.5/II.3 below the frontier).
+    fn apply_dinv(&self, u: &mut [f64]) {
+        let tree = self.ft.skeleton_tree().tree();
+        let ctx = self.ft.ctx();
+        // Frontier ranges partition u; split it into per-node chunks.
+        let mut chunks: Vec<(usize, &mut [f64])> = Vec::with_capacity(self.frontier.len());
+        let mut rest = u;
+        for &f in &self.frontier {
+            let len = tree.node(f).len();
+            let (head, tail) = rest.split_at_mut(len);
+            chunks.push((f, head));
+            rest = tail;
+        }
+        chunks.into_par_iter().for_each(|(f, chunk)| ctx.solve_node(f, chunk));
+    }
+
+    /// `out[φ] = P̂_φ z_φ` (Algorithm II.7: `MatVecW` fires only on the
+    /// frontier since `P = I` above it).
+    fn apply_w(&self, z: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(z.len(), self.reduced_dim);
+        let tree = self.ft.skeleton_tree().tree();
+        let mut chunks: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(self.frontier.len());
+        let mut rest = out;
+        for (k, &f) in self.frontier.iter().enumerate() {
+            let len = tree.node(f).len();
+            let (head, tail) = rest.split_at_mut(len);
+            chunks.push((k, f, head));
+            rest = tail;
+        }
+        let ctx = self.ft.ctx();
+        chunks.into_par_iter().for_each(|(k, f, chunk)| {
+            let zk = &z[self.offsets[k]..self.offsets[k + 1]];
+            if let Some(p_hat) = self.ft.factors()[f].p_hat.as_ref() {
+                kfds_la::blas2::gemv(1.0, p_hat.rb(), zk, 0.0, chunk);
+            } else {
+                // Recompute-W mode: telescope P̂ through eq. (10).
+                chunk.copy_from_slice(&ctx.apply_p_hat(f, zk));
+            }
+        });
+    }
+
+    /// `y_φ = K_{φ̃, X∖φ} x` for every frontier node (Algorithm II.8:
+    /// `MatVecV` over all nodes above and on the frontier), evaluated
+    /// matrix-free as `K_{φ̃, X} x − K_{φ̃, φ} x_φ`.
+    fn apply_v(&self, x: &[f64]) -> Vec<f64> {
+        let st = self.ft.skeleton_tree();
+        let tree = st.tree();
+        let pts = tree.points();
+        let kernel = self.ft.kernel();
+        let n = pts.len();
+        let all: Vec<usize> = (0..n).collect();
+        let segments: Vec<Vec<f64>> = self
+            .frontier
+            .par_iter()
+            .map(|&f| {
+                let sk = st.skeleton(f).expect("frontier skeleton");
+                if sk.rank() == 0 {
+                    return Vec::new();
+                }
+                let mut y = vec![0.0; sk.rank()];
+                sum_fused(kernel, pts, &sk.skeleton, &all, x, &mut y);
+                let range: Vec<usize> = tree.node(f).range().collect();
+                let mut own = vec![0.0; sk.rank()];
+                sum_fused(kernel, pts, &sk.skeleton, &range, &x[tree.node(f).range()], &mut own);
+                for (yi, oi) in y.iter_mut().zip(&own) {
+                    *yi -= oi;
+                }
+                y
+            })
+            .collect();
+        let mut out = Vec::with_capacity(self.reduced_dim);
+        for seg in segments {
+            out.extend(seg);
+        }
+        out
+    }
+
+    /// Public probe of `D^{-1}` (used by the level-restricted direct
+    /// solver and the benchmark harnesses).
+    pub fn apply_dinv_pub(&self, u: &mut [f64]) {
+        self.apply_dinv(u)
+    }
+
+    /// Public probe of the `W` application.
+    pub fn apply_w_pub(&self, z: &[f64], out: &mut [f64]) {
+        self.apply_w(z, out)
+    }
+
+    /// Public probe of the `V` application.
+    pub fn apply_v_pub(&self, x: &[f64]) -> Vec<f64> {
+        self.apply_v(x)
+    }
+
+    /// Solves `(λI + K̃) x = b` (`b` in permuted order) — Algorithm II.6.
+    pub fn solve(&self, b: &[f64], opts: &GmresOptions) -> Result<HybridOutcome, SolverError> {
+        let n = self.ft.skeleton_tree().tree().points().len();
+        assert_eq!(b.len(), n, "hybrid solve: rhs length mismatch");
+        // v = D^{-1} u.
+        let mut v = b.to_vec();
+        self.apply_dinv(&mut v);
+        if self.reduced_dim == 0 {
+            return Ok(HybridOutcome {
+                x: v,
+                gmres: SolveResult {
+                    x: vec![],
+                    converged: true,
+                    iters: 0,
+                    residual: 0.0,
+                    trace: vec![],
+                },
+            });
+        }
+        // Reduced right-hand side y = V v.
+        let y = self.apply_v(&v);
+        // (I + V W) z = y, matrix-free.
+        let op = FnOp::new(self.reduced_dim, |z: &[f64], out: &mut [f64]| {
+            let mut wz = vec![0.0; n];
+            self.apply_w(z, &mut wz);
+            let vwz = self.apply_v(&wz);
+            for i in 0..z.len() {
+                out[i] = z[i] + vwz[i];
+            }
+        });
+        let gm = gmres(&op, &y, None, opts);
+        // x = v − W z.
+        let mut wz = vec![0.0; n];
+        self.apply_w(&gm.x, &mut wz);
+        let mut x = v;
+        for (xi, wi) in x.iter_mut().zip(&wz) {
+            *xi -= wi;
+        }
+        Ok(HybridOutcome { x, gmres: gm })
+    }
+
+    /// Convenience wrapper: right-hand side and solution in *original*
+    /// point order.
+    pub fn solve_original_order(
+        &self,
+        b: &[f64],
+        opts: &GmresOptions,
+    ) -> Result<HybridOutcome, SolverError> {
+        let tree = self.ft.skeleton_tree().tree();
+        let bp = tree.permute_vec(b);
+        let mut out = self.solve(&bp, opts)?;
+        out.x = tree.unpermute_vec(&out.x);
+        Ok(out)
+    }
+}

@@ -1,0 +1,76 @@
+//! Numerical stability diagnostics (paper §III).
+//!
+//! The factorization can become unstable when `λ` is small relative to
+//! `σ_min` of a diagonal block: `κ(λI + D)` can grow even while
+//! `κ(λI + K)` stays moderate, because the pivoting available inside the
+//! hierarchical format is restricted to the skeleton rows. The pivot
+//! monitors in [`crate::config::FactorStats`] detect this cheaply during
+//! factorization; this module adds spectral estimates for reporting.
+
+use crate::factor::FactorTree;
+use kfds_askit::hier_matvec;
+use kfds_kernels::Kernel;
+use kfds_la::sigma_max;
+
+/// Spectral condition estimate of the factorized operator.
+#[derive(Clone, Copy, Debug)]
+pub struct ConditionEstimate {
+    /// Power-iteration estimate of `σ₁(λI + K̃)`.
+    pub sigma_max: f64,
+    /// Power-iteration estimate of `σ₁((λI + K̃)^{-1}) = 1/σ_min`.
+    pub inv_sigma_min: f64,
+}
+
+impl ConditionEstimate {
+    /// `κ₂ ≈ σ₁ · ‖(λI+K̃)^{-1}‖`.
+    pub fn kappa(&self) -> f64 {
+        self.sigma_max * self.inv_sigma_min
+    }
+}
+
+/// Estimates `κ(λI + K̃)` with power iterations on the hierarchical
+/// operator (forward) and the factorized solve (inverse).
+pub fn estimate_condition<K: Kernel>(ft: &FactorTree<'_, K>, iters: usize) -> ConditionEstimate {
+    let st = ft.skeleton_tree();
+    let kernel = ft.kernel();
+    let lambda = ft.config().lambda;
+    let n = st.tree().points().len();
+    let smax = sigma_max(
+        n,
+        |x, y| {
+            let w = hier_matvec(st, kernel, lambda, x);
+            y.copy_from_slice(&w);
+        },
+        iters,
+        1e-6,
+    );
+    let sinv = sigma_max(
+        n,
+        |x, y| {
+            y.copy_from_slice(x);
+            ft.solve_in_place(y).expect("complete factorization required");
+        },
+        iters,
+        1e-6,
+    );
+    ConditionEstimate { sigma_max: smax, inv_sigma_min: sinv }
+}
+
+/// Estimates `σ₁(K̃)` alone (no regularizer) — used to pick `λ` from a
+/// target condition number as in Figure 5 (`λ = c σ₁`).
+pub fn estimate_sigma1<K: Kernel>(
+    st: &kfds_askit::SkeletonTree,
+    kernel: &K,
+    iters: usize,
+) -> f64 {
+    let n = st.tree().points().len();
+    sigma_max(
+        n,
+        |x, y| {
+            let w = hier_matvec(st, kernel, 0.0, x);
+            y.copy_from_slice(&w);
+        },
+        iters,
+        1e-6,
+    )
+}

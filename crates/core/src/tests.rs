@@ -1,0 +1,667 @@
+//! Correctness tests for the direct, baseline, hybrid and distributed
+//! solvers.
+
+use crate::config::{SolverConfig, StorageMode};
+use crate::{dist_factorize, estimate_condition, factorize, factorize_baseline, HybridSolver, KernelRidge};
+use kfds_askit::{hier_matvec, skeletonize, SkelConfig, SkeletonTree};
+use kfds_kernels::{eval_symmetric, Gaussian};
+use kfds_krylov::GmresOptions;
+use kfds_la::blas1::nrm2;
+use kfds_tree::datasets::{normal_embedded, two_class_annulus};
+use kfds_tree::BallTree;
+
+fn rel_err(a: &[f64], b: &[f64]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Standard fixture: 512 points with intrinsic dimension 3 in 8-D.
+fn fixture(max_level: usize, tol: f64) -> (SkeletonTree, Gaussian) {
+    let pts = normal_embedded(512, 3, 8, 0.05, 42);
+    let tree = BallTree::build(&pts, 32);
+    let kernel = Gaussian::new(1.0);
+    let cfg = SkelConfig::default()
+        .with_tol(tol)
+        .with_max_rank(96)
+        .with_neighbors(8)
+        .with_max_level(max_level);
+    let st = skeletonize(tree, &kernel, cfg);
+    (st, kernel)
+}
+
+#[test]
+fn factorization_inverts_the_approximated_operator() {
+    // The key invariant: regardless of how well K̃ approximates K, the
+    // factorization must invert λI + K̃ to near machine precision.
+    let (st, kernel) = fixture(1, 1e-4);
+    let cfg = SolverConfig::default().with_lambda(0.5);
+    let ft = factorize(&st, &kernel, cfg).expect("factorize");
+    assert!(ft.is_complete());
+    let b = rand_vec(512, 7);
+    let mut x = b.clone();
+    ft.solve_in_place(&mut x).expect("solve");
+    let applied = hier_matvec(&st, &kernel, 0.5, &x);
+    let r = rel_err(&applied, &b);
+    assert!(r < 1e-9, "exact-inverse residual {r}");
+}
+
+#[test]
+fn solve_matches_dense_within_approximation_error() {
+    let pts = normal_embedded(192, 2, 5, 0.05, 9);
+    let tree = BallTree::build(&pts, 24);
+    let kernel = Gaussian::new(1.5);
+    let cfg = SkelConfig::default().with_tol(1e-9).with_max_rank(128).with_neighbors(12);
+    let st = skeletonize(tree, &kernel, cfg);
+    let lambda = 0.3;
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda)).expect("factorize");
+    let b = rand_vec(192, 3);
+    let mut x = b.clone();
+    ft.solve_in_place(&mut x).expect("solve");
+    // Dense reference on the *exact* kernel matrix.
+    let mut km = eval_symmetric(&kernel, st.tree().points(), 0..192);
+    for i in 0..192 {
+        km[(i, i)] += lambda;
+    }
+    let dense = kfds_la::Lu::factor(km).expect("dense LU").solve(&b);
+    let r = rel_err(&x, &dense);
+    assert!(r < 1e-4, "direct-vs-dense error {r}");
+}
+
+#[test]
+fn baseline_produces_identical_factorization() {
+    // Table III note: "Both methods construct exactly the same
+    // factorization (up to roundoff errors)".
+    let (st, kernel) = fixture(1, 1e-5);
+    let cfg = SolverConfig::default().with_lambda(1.0);
+    let fast = factorize(&st, &kernel, cfg).expect("telescoped");
+    let slow = factorize_baseline(&st, &kernel, cfg).expect("baseline");
+    let b = rand_vec(512, 21);
+    let mut x1 = b.clone();
+    let mut x2 = b.clone();
+    fast.solve_in_place(&mut x1).expect("solve fast");
+    slow.solve_in_place(&mut x2).expect("solve slow");
+    let r = rel_err(&x1, &x2);
+    assert!(r < 1e-9, "baseline mismatch {r}");
+    // The telescoping must also save flops even at this tiny size.
+    assert!(fast.stats().flops < slow.stats().flops);
+}
+
+#[test]
+fn storage_modes_agree() {
+    let (st, kernel) = fixture(1, 1e-5);
+    let b = rand_vec(512, 33);
+    let mut sols = Vec::new();
+    for mode in [StorageMode::StoredGemv, StorageMode::RecomputeGemm, StorageMode::Gsks] {
+        let cfg = SolverConfig::default().with_lambda(0.7).with_storage(mode);
+        let ft = factorize(&st, &kernel, cfg).expect("factorize");
+        let mut x = b.clone();
+        ft.solve_in_place(&mut x).expect("solve");
+        sols.push(x);
+    }
+    assert!(rel_err(&sols[0], &sols[1]) < 1e-10);
+    assert!(rel_err(&sols[0], &sols[2]) < 1e-10);
+}
+
+#[test]
+fn multi_rhs_solve_matches_single() {
+    let (st, kernel) = fixture(1, 1e-5);
+    let ft = factorize(&st, &kernel, SolverConfig::default()).expect("factorize");
+    let mut b = kfds_la::Mat::zeros(512, 3);
+    for j in 0..3 {
+        b.col_mut(j).copy_from_slice(&rand_vec(512, 100 + j as u64));
+    }
+    let b0 = b.clone();
+    ft.solve_mat_in_place(&mut b).expect("solve mat");
+    for j in 0..3 {
+        let mut x = b0.col(j).to_vec();
+        ft.solve_in_place(&mut x).expect("solve single");
+        assert!(rel_err(b.col(j), &x) < 1e-12, "column {j}");
+    }
+}
+
+#[test]
+fn solve_original_order_roundtrip() {
+    let (st, kernel) = fixture(1, 1e-5);
+    let lambda = 0.9;
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda)).expect("f");
+    let b_orig = rand_vec(512, 55);
+    let x_orig = ft.solve(&b_orig).expect("solve");
+    // Check in permuted space against the operator.
+    let xp = st.tree().permute_vec(&x_orig);
+    let bp = st.tree().permute_vec(&b_orig);
+    let applied = hier_matvec(&st, &kernel, lambda, &xp);
+    assert!(rel_err(&applied, &bp) < 1e-9);
+}
+
+#[test]
+fn hybrid_matches_direct_without_restriction() {
+    let (st, kernel) = fixture(1, 1e-5);
+    let cfg = SolverConfig::default().with_lambda(0.5);
+    let ft = factorize(&st, &kernel, cfg).expect("factorize");
+    let hy = HybridSolver::new(&ft).expect("hybrid");
+    let b = rand_vec(512, 11);
+    let mut direct = b.clone();
+    ft.solve_in_place(&mut direct).expect("direct");
+    let opts = GmresOptions { tol: 1e-12, ..Default::default() };
+    let out = hy.solve(&b, &opts).expect("hybrid solve");
+    assert!(out.gmres.converged);
+    let r = rel_err(&out.x, &direct);
+    assert!(r < 1e-8, "hybrid-vs-direct {r}");
+}
+
+#[test]
+fn hybrid_inverts_level_restricted_operator() {
+    // L = 3: the direct factorization is impossible (root levels are not
+    // skeletonized), the hybrid must still invert λI + K̃ exactly.
+    let (st, kernel) = fixture(3, 1e-5);
+    assert!(!st.is_fully_skeletonized());
+    let lambda = 0.8;
+    let cfg = SolverConfig::default().with_lambda(lambda);
+    let ft = factorize(&st, &kernel, cfg).expect("partial factorize");
+    assert!(!ft.is_complete());
+    assert!(ft.solve_in_place(&mut rand_vec(512, 1)).is_err());
+    let hy = HybridSolver::new(&ft).expect("hybrid");
+    assert!(hy.reduced_dim() > 0);
+    assert_eq!(hy.frontier().len(), 8); // 2^3 frontier nodes
+    let b = rand_vec(512, 13);
+    let opts = GmresOptions { tol: 1e-12, max_iters: 300, ..Default::default() };
+    let out = hy.solve(&b, &opts).expect("hybrid solve");
+    assert!(out.gmres.converged, "GMRES residual {}", out.gmres.residual);
+    let applied = hier_matvec(&st, &kernel, lambda, &out.x);
+    let r = rel_err(&applied, &b);
+    assert!(r < 1e-8, "hybrid exact-inverse residual {r}");
+}
+
+#[test]
+fn level_restricted_direct_matches_hybrid() {
+    // Table V compares the hybrid (GMRES on the reduced system) against
+    // the direct variant that LU-factorizes the coalesced 2^L s system.
+    let (st, kernel) = fixture(3, 1e-5);
+    let lambda = 0.8;
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda)).expect("f");
+    let direct = crate::LevelRestrictedDirect::new(&ft).expect("level-restricted direct");
+    let hy = HybridSolver::new(&ft).expect("hybrid");
+    assert_eq!(direct.reduced_dim(), hy.reduced_dim());
+    let b = rand_vec(512, 29);
+    let xd = direct.solve(&b);
+    // Direct variant must invert the level-restricted operator exactly.
+    let applied = hier_matvec(&st, &kernel, lambda, &xd);
+    assert!(rel_err(&applied, &b) < 1e-9, "direct level-restricted residual");
+    let opts = GmresOptions { tol: 1e-12, max_iters: 400, ..Default::default() };
+    let out = hy.solve(&b, &opts).expect("hybrid");
+    assert!(rel_err(&xd, &out.x) < 1e-8, "direct vs hybrid mismatch");
+}
+
+#[test]
+fn distributed_matches_serial() {
+    let (st, kernel) = fixture(1, 1e-5);
+    let cfg = SolverConfig::default().with_lambda(0.6);
+    let serial = factorize(&st, &kernel, cfg).expect("serial");
+    let b = rand_vec(512, 17);
+    let mut want = b.clone();
+    serial.solve_in_place(&mut want).expect("serial solve");
+    for p in [1, 2, 4] {
+        let ds = dist_factorize(&st, &kernel, cfg, p).expect("dist factorize");
+        let got = ds.solve(&b);
+        let r = rel_err(&got, &want);
+        assert!(r < 1e-9, "p={p}: dist-vs-serial {r}");
+    }
+}
+
+#[test]
+fn ridge_regression_learns_annulus() {
+    let (pts, labels) = two_class_annulus(600, 3, 5);
+    let test_pts = pts.select(&(500..600).collect::<Vec<_>>());
+    let test_labels = &labels[500..600];
+    let train_pts = pts.select(&(0..500).collect::<Vec<_>>());
+    let train_labels = &labels[..500];
+    let kernel = Gaussian::new(0.5);
+    let skel = SkelConfig::default().with_tol(1e-6).with_max_rank(128).with_neighbors(8);
+    let solver = SolverConfig::default().with_lambda(1e-2);
+    let (model, report) =
+        KernelRidge::train(&train_pts, train_labels, kernel, 32, skel, solver).expect("train");
+    assert!(model.train_residual < 1e-6, "train residual {}", model.train_residual);
+    let acc = model.accuracy(&test_pts, test_labels);
+    assert!(acc > 0.9, "accuracy {acc}");
+    assert!(report.factor_seconds >= 0.0 && report.setup_seconds >= 0.0);
+}
+
+#[test]
+fn instability_detected_for_tiny_lambda_flat_kernel() {
+    // A huge bandwidth makes K nearly rank-one, so λI + K_αα has σ_min ≈ λ;
+    // with λ ≈ 1e-14 the leaf pivots collapse and the §III detector fires.
+    let pts = normal_embedded(256, 2, 4, 0.05, 3);
+    let tree = BallTree::build(&pts, 32);
+    let kernel = Gaussian::new(50.0);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-7).with_max_rank(64).with_neighbors(8),
+    );
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(1e-14));
+    match ft {
+        Ok(f) => assert!(
+            f.stats().is_unstable(),
+            "expected instability flag, min pivot ratio {}",
+            f.stats().min_pivot_ratio
+        ),
+        Err(_) => {} // exactly singular is also a valid detection
+    }
+}
+
+#[test]
+fn level_restricted_direct_storage_modes_agree() {
+    let (st, kernel) = fixture(2, 1e-5);
+    let b = rand_vec(512, 41);
+    let mut sols = Vec::new();
+    for mode in [StorageMode::Gsks, StorageMode::StoredGemv] {
+        let cfg = SolverConfig::default().with_lambda(0.6).with_storage(mode);
+        let ft = factorize(&st, &kernel, cfg).expect("f");
+        let direct = crate::LevelRestrictedDirect::new(&ft).expect("direct");
+        sols.push(direct.solve(&b));
+    }
+    assert!(rel_err(&sols[0], &sols[1]) < 1e-10, "stored-V direct differs from fused");
+}
+
+#[test]
+fn approximate_knn_sampling_preserves_solver_quality() {
+    // The row sampling only needs good (not exact) neighbor lists; the
+    // factorization must still invert its compressed operator exactly and
+    // the approximation error must stay comparable to exact-kNN sampling.
+    let pts = normal_embedded(512, 3, 32, 0.05, 61);
+    let tree = BallTree::build(&pts, 32);
+    let kernel = Gaussian::new(2.5);
+    let base = SkelConfig::default().with_tol(1e-6).with_max_rank(96).with_neighbors(8);
+    let st_exact = skeletonize(tree.clone(), &kernel, base.clone());
+    let st_approx = skeletonize(tree, &kernel, base.with_approx_knn(6));
+    let e_exact = kfds_askit::approx_error_estimate(&st_exact, &kernel, 1);
+    let e_approx = kfds_askit::approx_error_estimate(&st_approx, &kernel, 1);
+    assert!(e_approx < 20.0 * e_exact + 1e-6, "approx {e_approx} vs exact {e_exact}");
+    let ft = factorize(&st_approx, &kernel, SolverConfig::default().with_lambda(0.5)).expect("f");
+    let b = rand_vec(512, 63);
+    let mut x = b.clone();
+    ft.solve_in_place(&mut x).expect("solve");
+    let applied = hier_matvec(&st_approx, &kernel, 0.5, &x);
+    assert!(rel_err(&applied, &b) < 1e-8);
+}
+
+#[test]
+fn lambda_sweep_shares_skeletons() {
+    let (pts, labels) = two_class_annulus(500, 3, 19);
+    let train = pts.select(&(0..400).collect::<Vec<_>>());
+    let valid = pts.select(&(400..500).collect::<Vec<_>>());
+    let kernel = Gaussian::new(0.5);
+    let tree = BallTree::build(&train, 32);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-6).with_max_rank(96).with_neighbors(8),
+    );
+    let y_perm = st.tree().permute_vec(&labels[..400]);
+    let entries = crate::lambda_sweep(
+        &st,
+        &kernel,
+        SolverConfig::default(),
+        &[10.0, 0.1, 1e-3],
+        &y_perm,
+        Some((&valid, &labels[400..])),
+    );
+    assert_eq!(entries.len(), 3);
+    for e in &entries {
+        if !e.unstable {
+            assert!(e.residual < 1e-6, "lambda {}: residual {}", e.lambda, e.residual);
+        }
+        assert!(e.accuracy.is_some());
+    }
+    // Small-λ models should fit the training data at least as well as
+    // heavy regularization on this easy task.
+    let acc_small = entries[2].accuracy.unwrap_or(0.0);
+    assert!(acc_small > 0.8, "small-lambda accuracy {acc_small}");
+}
+
+#[test]
+fn multiclass_one_vs_all() {
+    // Three Gaussian blobs in 4-D, well separated.
+    let n = 450;
+    let mut data = Vec::with_capacity(n * 4);
+    let mut labels = Vec::with_capacity(n);
+    let mut state = 5u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    for i in 0..n {
+        let c = i % 3;
+        let center = [(c as f64) * 4.0, (c as f64) * -3.0, 0.0, (c as f64) * 2.0];
+        for k in 0..4 {
+            data.push(center[k] + 0.5 * rnd());
+        }
+        labels.push(c);
+    }
+    let pts = kfds_tree::PointSet::from_col_major(4, data);
+    let train = pts.select(&(0..360).collect::<Vec<_>>());
+    let test = pts.select(&(360..n).collect::<Vec<_>>());
+    let model = crate::KernelRidgeMulti::train(
+        &train,
+        &labels[..360],
+        3,
+        Gaussian::new(1.0),
+        32,
+        SkelConfig::default().with_tol(1e-6).with_max_rank(96).with_neighbors(8),
+        SolverConfig::default().with_lambda(1e-2),
+    )
+    .expect("train");
+    let acc = model.accuracy(&test, &labels[360..], 0.5);
+    assert!(acc > 0.95, "multiclass accuracy {acc}");
+}
+
+#[test]
+fn fast_prediction_matches_exact_prediction() {
+    let (pts, labels) = two_class_annulus(400, 3, 33);
+    let train = pts.select(&(0..320).collect::<Vec<_>>());
+    let test = pts.select(&(320..400).collect::<Vec<_>>());
+    let (model, _) = KernelRidge::train(
+        &train,
+        &labels[..320],
+        Gaussian::new(0.5),
+        32,
+        SkelConfig::default().with_tol(1e-7).with_max_rank(128).with_neighbors(8),
+        SolverConfig::default().with_lambda(1e-2),
+    )
+    .expect("train");
+    let exact = model.predict(&test);
+    let fast = model.predict_fast(&test, 0.4);
+    for (e, f) in exact.iter().zip(&fast) {
+        assert!((e - f).abs() < 1e-3 * (1.0 + e.abs()), "{e} vs {f}");
+    }
+}
+
+#[test]
+fn recompute_w_matches_stored_w() {
+    // §III memory scheme: P̂ stored only at leaves, internal applications
+    // telescoped through eq. (10). Must agree with the stored scheme to
+    // roundoff and retain strictly less memory.
+    let (st, kernel) = fixture(1, 1e-5);
+    let b = rand_vec(512, 81);
+    let stored_cfg = SolverConfig::default().with_lambda(0.9);
+    let rec_cfg = stored_cfg.with_w_storage(crate::config::WStorage::Recompute);
+    let ft_s = factorize(&st, &kernel, stored_cfg).expect("stored");
+    let ft_r = factorize(&st, &kernel, rec_cfg).expect("recompute");
+    let mut x1 = b.clone();
+    let mut x2 = b.clone();
+    ft_s.solve_in_place(&mut x1).expect("solve stored");
+    ft_r.solve_in_place(&mut x2).expect("solve recompute");
+    assert!(rel_err(&x1, &x2) < 1e-10, "recompute-W solution differs");
+    assert!(
+        ft_r.stats().stored_bytes < ft_s.stats().stored_bytes,
+        "recompute-W should retain less: {} vs {}",
+        ft_r.stats().stored_bytes,
+        ft_s.stats().stored_bytes
+    );
+    // Multi-RHS path exercises apply_p_hat_mat.
+    let mut bm = kfds_la::Mat::zeros(512, 2);
+    bm.col_mut(0).copy_from_slice(&b);
+    bm.col_mut(1).copy_from_slice(&rand_vec(512, 82));
+    let bm0 = bm.clone();
+    ft_r.solve_mat_in_place(&mut bm).expect("solve mat");
+    let mut c0 = bm0.col(0).to_vec();
+    ft_s.solve_in_place(&mut c0).expect("s");
+    assert!(rel_err(bm.col(0), &c0) < 1e-10);
+}
+
+#[test]
+fn recompute_w_hybrid_and_leveldirect() {
+    let (st, kernel) = fixture(3, 1e-5);
+    let b = rand_vec(512, 91);
+    let lambda = 0.7;
+    let rec_cfg = SolverConfig::default()
+        .with_lambda(lambda)
+        .with_w_storage(crate::config::WStorage::Recompute);
+    let ft = factorize(&st, &kernel, rec_cfg).expect("recompute partial");
+    let hy = HybridSolver::new(&ft).expect("hybrid");
+    let opts = GmresOptions { tol: 1e-12, max_iters: 400, ..Default::default() };
+    let out = hy.solve(&b, &opts).expect("hybrid solve");
+    let applied = hier_matvec(&st, &kernel, lambda, &out.x);
+    assert!(rel_err(&applied, &b) < 1e-8, "recompute-W hybrid residual");
+    let direct = crate::LevelRestrictedDirect::new(&ft).expect("direct");
+    let xd = direct.solve(&b);
+    assert!(rel_err(&xd, &out.x) < 1e-8, "recompute-W leveldirect mismatch");
+}
+
+#[test]
+fn factorization_preconditions_exact_operator() {
+    // A *loose* factorization of K̃ preconditions GMRES on the exact
+    // λI + K: the preconditioned solve must converge in far fewer
+    // iterations than the unpreconditioned one and give an exact-operator
+    // residual at the Krylov tolerance (better than K̃'s approximation).
+    let pts = normal_embedded(384, 2, 6, 0.05, 51);
+    let tree = BallTree::build(&pts, 32);
+    let kernel = Gaussian::new(1.5);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-3).with_max_rank(48).with_neighbors(8),
+    );
+    let lambda = 0.05;
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda)).expect("f");
+    let b = rand_vec(384, 71);
+    let opts = GmresOptions { tol: 1e-10, max_iters: 300, ..Default::default() };
+
+    let pre = crate::solve_exact_preconditioned(&ft, &b, &opts).expect("preconditioned");
+    assert!(pre.converged, "residual {}", pre.residual);
+
+    // Unpreconditioned reference on the same exact operator.
+    let op = kfds_krylov::FnOp::new(384, |x: &[f64], y: &mut [f64]| {
+        y.copy_from_slice(&kfds_askit::exact_matvec(&st, &kernel, lambda, x));
+    });
+    let plain = kfds_krylov::gmres(&op, &b, None, &opts);
+    assert!(
+        pre.iters < plain.iters,
+        "preconditioning should cut iterations: {} vs {}",
+        pre.iters,
+        plain.iters
+    );
+    // True residual against the exact operator.
+    let applied = kfds_askit::exact_matvec(&st, &kernel, lambda, &pre.x);
+    assert!(rel_err(&applied, &b) < 1e-8);
+}
+
+#[test]
+fn cholesky_leaf_matches_lu_leaf() {
+    let (st, kernel) = fixture(1, 1e-5);
+    let b = rand_vec(512, 61);
+    let lu_cfg = SolverConfig::default().with_lambda(0.5);
+    let ch_cfg = lu_cfg.with_leaf(crate::config::LeafFactorization::Cholesky);
+    let ft_lu = factorize(&st, &kernel, lu_cfg).expect("lu");
+    let ft_ch = factorize(&st, &kernel, ch_cfg).expect("cholesky");
+    let mut x1 = b.clone();
+    let mut x2 = b.clone();
+    ft_lu.solve_in_place(&mut x1).expect("solve");
+    ft_ch.solve_in_place(&mut x2).expect("solve");
+    assert!(rel_err(&x1, &x2) < 1e-9, "cholesky leaves disagree with LU");
+    // Cholesky leaves cost half the factorization flops at the leaves.
+    assert!(ft_ch.stats().flops < ft_lu.stats().flops);
+}
+
+#[test]
+fn cholesky_detects_indefiniteness() {
+    // Flat kernel + tiny λ: the compressed leaf blocks are numerically
+    // semidefinite; Cholesky must refuse (or flag) rather than produce a
+    // garbage factorization.
+    let pts = normal_embedded(256, 2, 4, 0.05, 3);
+    let tree = BallTree::build(&pts, 32);
+    let kernel = Gaussian::new(50.0);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-7).with_max_rank(64).with_neighbors(8),
+    );
+    let cfg = SolverConfig::default()
+        .with_lambda(1e-16)
+        .with_leaf(crate::config::LeafFactorization::Cholesky);
+    match factorize(&st, &kernel, cfg) {
+        Err(crate::SolverError::Factorization { .. }) => {}
+        Ok(f) => assert!(f.stats().is_unstable()),
+        Err(other) => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn hybrid_reports_nonconvergence_honestly() {
+    let (st, kernel) = fixture(3, 1e-5);
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(0.5)).expect("f");
+    let hy = HybridSolver::new(&ft).expect("hybrid");
+    let b = rand_vec(512, 31);
+    let opts = GmresOptions { tol: 1e-14, max_iters: 2, ..Default::default() };
+    let out = hy.solve(&b, &opts).expect("solve returns even when unconverged");
+    assert!(!out.gmres.converged);
+    assert_eq!(out.gmres.iters, 2);
+    assert!(out.gmres.residual > 1e-14);
+}
+
+#[test]
+fn adaptive_frontier_pipeline() {
+    // With adaptive frontier on a poorly compressible configuration the
+    // skeletonization stops early; the hybrid solver must still invert
+    // the resulting operator. Uniform points in the full ambient
+    // dimension with a moderate bandwidth compress badly near the root.
+    let pts = kfds_tree::datasets::uniform_cube(512, 6, 13);
+    let tree = BallTree::build(&pts, 32);
+    let kernel = Gaussian::new(0.8);
+    let cfg = SkelConfig::default()
+        .with_tol(1e-6)
+        .with_max_rank(48)
+        .with_neighbors(8)
+        .with_adaptive_frontier(true);
+    let st = skeletonize(tree, &kernel, cfg);
+    let lambda = 1.0;
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda)).expect("f");
+    let b = rand_vec(512, 77);
+    if st.is_fully_skeletonized() {
+        // Compression happened to succeed everywhere: direct solve path.
+        let mut x = b.clone();
+        ft.solve_in_place(&mut x).expect("direct");
+        let applied = hier_matvec(&st, &kernel, lambda, &x);
+        assert!(rel_err(&applied, &b) < 1e-8);
+    } else {
+        let hy = HybridSolver::new(&ft).expect("hybrid");
+        let opts = GmresOptions { tol: 1e-11, max_iters: 400, ..Default::default() };
+        let out = hy.solve(&b, &opts).expect("hybrid");
+        let applied = hier_matvec(&st, &kernel, lambda, &out.x);
+        assert!(rel_err(&applied, &b) < 1e-7, "adaptive-frontier hybrid residual");
+    }
+}
+
+#[test]
+fn matern_and_polynomial_kernels_factorize() {
+    let pts = normal_embedded(256, 2, 6, 0.05, 21);
+    let tree = BallTree::build(&pts, 32);
+    {
+        let kernel = kfds_kernels::Matern32::new(1.5);
+        let st = skeletonize(
+            tree.clone(),
+            &kernel,
+            SkelConfig::default().with_tol(1e-6).with_max_rank(96).with_neighbors(8),
+        );
+        let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(0.4)).expect("f");
+        let b = rand_vec(256, 9);
+        let mut x = b.clone();
+        ft.solve_in_place(&mut x).expect("solve");
+        let applied = hier_matvec(&st, &kernel, 0.4, &x);
+        assert!(rel_err(&applied, &b) < 1e-8, "matern");
+    }
+    {
+        // Low-degree polynomial kernel: globally low rank, trivially
+        // hierarchical; λ keeps the system well posed.
+        let kernel = kfds_kernels::Polynomial::new(0.5, 1.0, 2);
+        let st = skeletonize(
+            tree,
+            &kernel,
+            SkelConfig::default().with_tol(1e-8).with_max_rank(96).with_neighbors(8),
+        );
+        let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(2.0)).expect("f");
+        let b = rand_vec(256, 10);
+        let mut x = b.clone();
+        ft.solve_in_place(&mut x).expect("solve");
+        let applied = hier_matvec(&st, &kernel, 2.0, &x);
+        assert!(rel_err(&applied, &b) < 1e-7, "polynomial");
+    }
+}
+
+#[test]
+fn condition_estimate_sane() {
+    let (st, kernel) = fixture(1, 1e-6);
+    let lambda = 1.0;
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda)).expect("f");
+    let est = estimate_condition(&ft, 60);
+    assert!(est.kappa() >= 1.0 - 1e-6, "kappa {}", est.kappa());
+    assert!(est.kappa().is_finite());
+    // λI + K with PSD-ish K and λ = 1: σ_min >= λ (approximately), so
+    // 1/σ_min <= ~1/λ.
+    assert!(est.inv_sigma_min < 2.0 / lambda, "inv sigma min {}", est.inv_sigma_min);
+}
+
+#[test]
+fn factor_stats_populated() {
+    let (st, kernel) = fixture(1, 1e-5);
+    let ft = factorize(&st, &kernel, SolverConfig::default()).expect("f");
+    let s = ft.stats();
+    assert!(s.flops > 0.0);
+    assert!(s.stored_bytes > 0);
+    assert!(s.max_rank > 0);
+    assert!(s.seconds > 0.0);
+    assert!(s.min_pivot_ratio > 0.0 && s.min_pivot_ratio <= 1.0);
+}
+
+#[test]
+fn works_with_other_kernels() {
+    let pts = normal_embedded(256, 2, 6, 0.05, 77);
+    let tree = BallTree::build(&pts, 32);
+    let kernel = kfds_kernels::Laplacian::new(2.0);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-5).with_max_rank(96).with_neighbors(8),
+    );
+    let lambda = 0.5;
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda)).expect("f");
+    let b = rand_vec(256, 5);
+    let mut x = b.clone();
+    ft.solve_in_place(&mut x).expect("solve");
+    let applied = hier_matvec(&st, &kernel, lambda, &x);
+    assert!(rel_err(&applied, &b) < 1e-8);
+}
+
+#[test]
+fn rhs_norm_preserved_shape() {
+    // Sanity: solving then applying the operator is the identity on
+    // random vectors of very different scales.
+    let (st, kernel) = fixture(1, 1e-5);
+    let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(2.0)).expect("f");
+    for scale in [1e-8, 1.0, 1e8] {
+        let mut b = rand_vec(512, 3);
+        for v in &mut b {
+            *v *= scale;
+        }
+        let mut x = b.clone();
+        ft.solve_in_place(&mut x).expect("solve");
+        let applied = hier_matvec(&st, &kernel, 2.0, &x);
+        assert!(rel_err(&applied, &b) < 1e-9, "scale {scale}");
+        assert!(nrm2(&x) > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Blocked evaluation of kernel sub-matrices `K[rows, cols]`.
+//!
+//! These routines materialize kernel blocks (the "stored" mode of §II-D);
+//! the matrix-free engines live in [`crate::reference`] (two-pass) and
+//! [`crate::gsks`] (fused).
+
+use crate::function::Kernel;
+use kfds_la::blas1::dot;
+use kfds_la::Mat;
+use kfds_tree::PointSet;
+use rayon::prelude::*;
+
+/// Evaluates the kernel block `K[rows, cols]` between index lists into the
+/// same point set, in parallel over columns.
+pub fn eval_block(kernel: &dyn Kernel, pts: &PointSet, rows: &[usize], cols: &[usize]) -> Mat {
+    let m = rows.len();
+    let n = cols.len();
+    let mut out = Mat::zeros(m, n);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let row_norms: Vec<f64> = rows.iter().map(|&i| sq_norm(pts.point(i))).collect();
+    let data = out.as_mut_slice();
+    data.par_chunks_mut(m).enumerate().for_each(|(j, col)| {
+        let y = pts.point(cols[j]);
+        let ny = sq_norm(y);
+        for (i, out_ij) in col.iter_mut().enumerate() {
+            let x = pts.point(rows[i]);
+            *out_ij = kernel.eval_parts(dot(x, y), row_norms[i], ny);
+        }
+    });
+    out
+}
+
+/// Evaluates `K[rows, range]` where the columns are a contiguous range of
+/// (permuted) positions — the common case for tree-node blocks.
+pub fn eval_block_range(
+    kernel: &dyn Kernel,
+    pts: &PointSet,
+    rows: &[usize],
+    range: std::ops::Range<usize>,
+) -> Mat {
+    let cols: Vec<usize> = range.collect();
+    eval_block(kernel, pts, rows, &cols)
+}
+
+/// Evaluates the full symmetric kernel matrix `K[range, range]` (used for
+/// leaf diagonal blocks and dense cross-checks).
+pub fn eval_symmetric(kernel: &dyn Kernel, pts: &PointSet, range: std::ops::Range<usize>) -> Mat {
+    let idx: Vec<usize> = range.collect();
+    let n = idx.len();
+    let norms: Vec<f64> = idx.iter().map(|&i| sq_norm(pts.point(i))).collect();
+    let mut out = Mat::zeros(n, n);
+    for j in 0..n {
+        let y = pts.point(idx[j]);
+        for i in 0..=j {
+            let v = kernel.eval_parts(dot(pts.point(idx[i]), y), norms[i], norms[j]);
+            out[(i, j)] = v;
+            out[(j, i)] = v;
+        }
+    }
+    out
+}
+
+#[inline]
+fn sq_norm(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Gaussian;
+
+    fn pts() -> PointSet {
+        let data: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).sin()).collect();
+        PointSet::from_col_major(2, data)
+    }
+
+    #[test]
+    fn block_matches_pointwise() {
+        let p = pts();
+        let k = Gaussian::new(0.8);
+        let rows = [0, 3, 7];
+        let cols = [1, 2, 9, 4];
+        let b = eval_block(&k, &p, &rows, &cols);
+        for (i, &ri) in rows.iter().enumerate() {
+            for (j, &cj) in cols.iter().enumerate() {
+                let want = k.eval(p.point(ri), p.point(cj));
+                assert!((b[(i, j)] - want).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn range_block_matches_list_block() {
+        let p = pts();
+        let k = Gaussian::new(0.5);
+        let rows = [2, 5];
+        let a = eval_block_range(&k, &p, &rows, 3..8);
+        let b = eval_block(&k, &p, &rows, &[3, 4, 5, 6, 7]);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn symmetric_block_is_symmetric_with_unit_diagonal() {
+        let p = pts();
+        let k = Gaussian::new(1.1);
+        let s = eval_symmetric(&k, &p, 2..9);
+        for i in 0..7 {
+            assert_eq!(s[(i, i)], 1.0);
+            for j in 0..7 {
+                assert_eq!(s[(i, j)], s[(j, i)]);
+            }
+        }
+    }
+}

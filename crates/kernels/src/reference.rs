@@ -1,0 +1,149 @@
+//! The "best-known" two-pass kernel summation (paper eq. 11):
+//! `K u = GEMV( K(GEMM(Xr^T, Xc)), u )`.
+//!
+//! This is the reference implementation the paper compares GSKS against
+//! (labelled "MKL+VML" in Table I): a rank-`d` GEMM produces the Gram
+//! block, the kernel function is applied elementwise (the VML `VEXP`
+//! analogue), and a GEMV/GEMM reduces against the weights. It materializes
+//! the `m x n` block — `O(mn)` extra memory traffic, which is what the
+//! fused engine removes.
+
+use crate::function::Kernel;
+use kfds_la::{gemm, Mat, MatMut, MatRef, Trans};
+use kfds_tree::PointSet;
+
+/// Gathers `idx`-selected points as the columns of a `d x idx.len()` matrix.
+pub fn gather_coords(pts: &PointSet, idx: &[usize]) -> Mat {
+    let d = pts.dim();
+    let mut out = Mat::zeros(d, idx.len());
+    for (j, &i) in idx.iter().enumerate() {
+        out.col_mut(j).copy_from_slice(pts.point(i));
+    }
+    out
+}
+
+/// Materializes `K[rows, cols]` via the GEMM + elementwise-kernel pipeline.
+pub fn kernel_block_gemm<K: Kernel>(k: &K, pts: &PointSet, rows: &[usize], cols: &[usize]) -> Mat {
+    let xr = gather_coords(pts, rows);
+    let xc = gather_coords(pts, cols);
+    let m = rows.len();
+    let n = cols.len();
+    // Gram block G = Xr^T Xc (rank-d update).
+    let mut g = Mat::zeros(m, n);
+    gemm(1.0, xr.rb(), Trans::Yes, xc.rb(), Trans::No, 0.0, g.rb_mut());
+    let row_norms: Vec<f64> = (0..m).map(|i| sq_norm(xr.col(i))).collect();
+    let col_norms: Vec<f64> = (0..n).map(|j| sq_norm(xc.col(j))).collect();
+    // Elementwise kernel transform (the VEXP pass).
+    for j in 0..n {
+        let nyj = col_norms[j];
+        let col = g.col_mut(j);
+        for (i, gij) in col.iter_mut().enumerate() {
+            *gij = k.eval_parts(*gij, row_norms[i], nyj);
+        }
+    }
+    g
+}
+
+/// Two-pass kernel summation: `w = K[rows, cols] * u` (overwrites `w`).
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn sum_reference<K: Kernel>(
+    k: &K,
+    pts: &PointSet,
+    rows: &[usize],
+    cols: &[usize],
+    u: &[f64],
+    w: &mut [f64],
+) {
+    assert_eq!(u.len(), cols.len(), "sum_reference: weight length mismatch");
+    assert_eq!(w.len(), rows.len(), "sum_reference: output length mismatch");
+    let kb = kernel_block_gemm(k, pts, rows, cols);
+    kfds_la::blas2::gemv(1.0, kb.rb(), u, 0.0, w);
+}
+
+/// Two-pass multi-RHS summation: `W = K[rows, cols] * U` (overwrites `W`).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn sum_reference_multi<K: Kernel>(
+    k: &K,
+    pts: &PointSet,
+    rows: &[usize],
+    cols: &[usize],
+    u: MatRef<'_>,
+    w: MatMut<'_>,
+) {
+    assert_eq!(u.nrows(), cols.len(), "sum_reference_multi: U rows mismatch");
+    assert_eq!(w.nrows(), rows.len(), "sum_reference_multi: W rows mismatch");
+    assert_eq!(u.ncols(), w.ncols(), "sum_reference_multi: RHS count mismatch");
+    let kb = kernel_block_gemm(k, pts, rows, cols);
+    gemm(1.0, kb.rb(), Trans::No, u, Trans::No, 0.0, w);
+}
+
+#[inline]
+fn sq_norm(x: &[f64]) -> f64 {
+    kfds_la::blas1::dot(x, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_block;
+    use crate::function::Gaussian;
+
+    fn pts(n: usize, d: usize) -> PointSet {
+        let data: Vec<f64> = (0..n * d).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
+        PointSet::from_col_major(d, data)
+    }
+
+    #[test]
+    fn gemm_block_matches_direct_eval() {
+        let p = pts(30, 5);
+        let k = Gaussian::new(0.9);
+        let rows: Vec<usize> = (0..7).map(|i| i * 4).collect();
+        let cols: Vec<usize> = (3..19).collect();
+        let a = kernel_block_gemm(&k, &p, &rows, &cols);
+        let b = eval_block(&k, &p, &rows, &cols);
+        for j in 0..cols.len() {
+            for i in 0..rows.len() {
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn summation_matches_explicit() {
+        let p = pts(25, 3);
+        let k = Gaussian::new(0.6);
+        let rows: Vec<usize> = (0..10).collect();
+        let cols: Vec<usize> = (10..25).collect();
+        let u: Vec<f64> = (0..15).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut w = vec![f64::NAN; 10];
+        sum_reference(&k, &p, &rows, &cols, &u, &mut w);
+        let kb = eval_block(&k, &p, &rows, &cols);
+        let mut want = vec![0.0; 10];
+        kfds_la::blas2::gemv(1.0, kb.rb(), &u, 0.0, &mut want);
+        for (a, b) in w.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_matches_column_by_column() {
+        let p = pts(20, 4);
+        let k = Gaussian::new(1.2);
+        let rows: Vec<usize> = (0..8).collect();
+        let cols: Vec<usize> = (8..20).collect();
+        let u = Mat::from_fn(12, 3, |i, j| ((i + 3 * j) as f64 * 0.17).sin());
+        let mut w = Mat::zeros(8, 3);
+        sum_reference_multi(&k, &p, &rows, &cols, u.rb(), w.rb_mut());
+        for t in 0..3 {
+            let mut wt = vec![0.0; 8];
+            sum_reference(&k, &p, &rows, &cols, u.col(t), &mut wt);
+            for i in 0..8 {
+                assert!((w[(i, t)] - wt[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Level-2 BLAS-style kernels: matrix-vector products and rank-1 updates.
+
+use crate::blas1::{axpy, dot};
+use crate::mat::{MatMut, MatRef};
+
+/// `y = alpha * A * x + beta * y`.
+///
+/// Walks `A` column-by-column (contiguous in column-major storage), so the
+/// inner loop is an `axpy` over a unit-stride column.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.ncols(), x.len(), "gemv: A.ncols != x.len");
+    assert_eq!(a.nrows(), y.len(), "gemv: A.nrows != y.len");
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        crate::blas1::scal(beta, y);
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    for j in 0..a.ncols() {
+        let xj = alpha * x[j];
+        if xj != 0.0 {
+            axpy(xj, a.col(j), y);
+        }
+    }
+}
+
+/// `y = alpha * A^T * x + beta * y`.
+///
+/// Each output element is a dot product with a contiguous column of `A`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.nrows(), x.len(), "gemv_t: A.nrows != x.len");
+    assert_eq!(a.ncols(), y.len(), "gemv_t: A.ncols != y.len");
+    for j in 0..a.ncols() {
+        let d = if alpha == 0.0 { 0.0 } else { alpha * dot(a.col(j), x) };
+        y[j] = if beta == 0.0 { d } else { beta * y[j] + d };
+    }
+}
+
+/// Rank-1 update `A += alpha * x * y^T`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
+    assert_eq!(a.nrows(), x.len(), "ger: A.nrows != x.len");
+    assert_eq!(a.ncols(), y.len(), "ger: A.ncols != y.len");
+    if alpha == 0.0 {
+        return;
+    }
+    for j in 0..a.ncols() {
+        let s = alpha * y[j];
+        if s != 0.0 {
+            axpy(s, x, a.col_mut(j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn naive_gemv(a: &Mat, x: &[f64]) -> Vec<f64> {
+        (0..a.nrows())
+            .map(|i| (0..a.ncols()).map(|j| a[(i, j)] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn gemv_matches_naive() {
+        let a = Mat::from_fn(4, 3, |i, j| (i as f64 + 1.0) * (j as f64 - 1.5));
+        let x = [1.0, -2.0, 0.5];
+        let mut y = vec![1.0; 4];
+        gemv(2.0, a.rb(), &x, 3.0, &mut y);
+        let naive = naive_gemv(&a, &x);
+        for i in 0..4 {
+            assert!((y[i] - (2.0 * naive[i] + 3.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose() {
+        let a = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25);
+        let at = a.transpose();
+        let x = [0.5, -1.0, 2.0, 3.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        gemv_t(1.5, a.rb(), &x, 0.0, &mut y1);
+        gemv(1.5, at.rb(), &x, 0.0, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Mat::zeros(3, 2);
+        ger(2.0, &[1.0, 2.0, 3.0], &[4.0, 5.0], a.rb_mut());
+        assert_eq!(a[(2, 1)], 2.0 * 3.0 * 5.0);
+        assert_eq!(a[(0, 0)], 8.0);
+    }
+
+    #[test]
+    fn gemv_beta_zero_clears_nan() {
+        let a = Mat::zeros(2, 2);
+        let mut y = vec![f64::NAN; 2];
+        gemv(1.0, a.rb(), &[1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Column-pivoted, rank-revealing QR (LAPACK `GEQP3`-style) with early
+//! truncation — the engine behind the interpolative decomposition.
+//!
+//! The paper selects the skeleton rank `s` such that
+//! `sigma_{s+1}(K_{S'alpha}) / sigma_1 < tau`, with the singular values
+//! estimated by the diagonal of the rank-revealing QR (§II-A). This module
+//! implements exactly that truncation rule.
+
+use crate::blas1::nrm2;
+use crate::mat::{Mat, MatMut};
+use crate::qr::{apply_householder_left, make_householder};
+
+/// A truncated column-pivoted QR factorization `A P = Q R`.
+#[derive(Clone, Debug)]
+pub struct ColPivQr {
+    /// Packed reflectors below the diagonal, `R` on and above (columns in
+    /// pivoted order).
+    qr: Mat,
+    tau: Vec<f64>,
+    /// `perm[k]` is the original column index in pivot position `k`.
+    perm: Vec<usize>,
+    /// Truncation rank (number of accepted pivot columns).
+    rank: usize,
+    /// `|R[k,k]|` for each accepted step, monotonically non-increasing in
+    /// exact arithmetic; used as singular-value estimates.
+    rdiag: Vec<f64>,
+}
+
+impl ColPivQr {
+    /// Factorizes `a` (consumed), truncating at relative tolerance `tol`
+    /// and at `max_rank` columns.
+    ///
+    /// The rank is the smallest `s` with `|R[s,s]| <= tol * |R[0,0]|`
+    /// (clamped to `max_rank` and `min(m, n)`). `tol == 0` disables the
+    /// tolerance-based truncation.
+    pub fn factor_truncated(mut a: Mat, tol: f64, max_rank: usize) -> Self {
+        let m = a.nrows();
+        let n = a.ncols();
+        let kmax = m.min(n).min(max_rank);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut tau = Vec::with_capacity(kmax);
+        let mut rdiag = Vec::with_capacity(kmax);
+
+        // Residual column norms, downdated incrementally and recomputed when
+        // cancellation makes the downdate untrustworthy (LAPACK heuristic).
+        let mut norms: Vec<f64> = (0..n).map(|j| nrm2(a.col(j))).collect();
+        let mut norms_ref = norms.clone();
+        let mut first_pivot_norm = 0.0f64;
+
+        let mut rank = 0;
+        for k in 0..kmax {
+            // Pivot: residual column with the largest norm.
+            let (p, &pn) = norms[k..]
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).expect("NaN column norm"))
+                .expect("non-empty pivot range");
+            let p = k + p;
+            if k == 0 {
+                first_pivot_norm = pn;
+            }
+            // Truncation rule: sigma_{k+1}/sigma_1 estimated by pivot norms.
+            if pn == 0.0 || (tol > 0.0 && k > 0 && pn <= tol * first_pivot_norm) {
+                break;
+            }
+            a.swap_cols(k, p);
+            norms.swap(k, p);
+            norms_ref.swap(k, p);
+            perm.swap(k, p);
+
+            let t = {
+                let col = &mut a.col_mut(k)[k..];
+                make_householder(col)
+            };
+            tau.push(t);
+            rdiag.push(a[(k, k)].abs());
+            rank = k + 1;
+
+            if k + 1 < n && t != 0.0 {
+                let (head, tail) = a.as_mut_slice().split_at_mut((k + 1) * m);
+                let v = head[k * m + k + 1..(k + 1) * m].to_vec();
+                let trailing = MatMut::from_parts(&mut tail[k..], m - k, n - k - 1, m);
+                apply_householder_left(&v, t, trailing);
+            }
+            // Downdate residual norms of the trailing columns.
+            for j in k + 1..n {
+                if norms[j] == 0.0 {
+                    continue;
+                }
+                let r = a[(k, j)].abs() / norms[j];
+                let d = (1.0 - r * r).max(0.0);
+                // If the downdate lost too much accuracy, recompute exactly.
+                let ratio = norms[j] / norms_ref[j];
+                if d * ratio * ratio <= 1e-14 {
+                    norms[j] = nrm2(&a.col(j)[k + 1..]);
+                    norms_ref[j] = norms[j];
+                } else {
+                    norms[j] *= d.sqrt();
+                }
+            }
+        }
+        ColPivQr { qr: a, tau, perm, rank, rdiag }
+    }
+
+    /// The truncation rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Original column indices in pivoted order; the first [`rank`](Self::rank)
+    /// entries are the selected (skeleton) columns.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// `|R[k,k]|` singular-value estimates for the accepted steps.
+    pub fn rdiag(&self) -> &[f64] {
+        &self.rdiag
+    }
+
+    /// Householder scalars of the accepted reflectors (one per pivot step;
+    /// exposed so callers can apply `Q`/`Qᵀ` if they need the orthogonal
+    /// factor explicitly).
+    pub fn tau(&self) -> &[f64] {
+        &self.tau
+    }
+
+    /// `R11` (rank x rank upper triangular block).
+    pub fn r11(&self) -> Mat {
+        let s = self.rank;
+        Mat::from_fn(s, s, |i, j| if i <= j { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// `R12` (rank x (n - rank) block).
+    pub fn r12(&self) -> Mat {
+        let s = self.rank;
+        let n = self.qr.ncols();
+        Mat::from_fn(s, n - s, |i, j| self.qr[(i, j + s)])
+    }
+
+    /// Solves `R11 X = R12`, the interpolation coefficients of the
+    /// non-skeleton columns in terms of the skeleton columns.
+    pub fn interp_coeffs(&self) -> Mat {
+        let s = self.rank;
+        let mut t = self.r12();
+        if s > 0 {
+            crate::tri::solve_upper_mat_inplace(self.qr.submatrix(0..s, 0..s), t.rb_mut());
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    /// Random matrix of numerical rank `r` (plus tiny noise).
+    fn low_rank(m: usize, n: usize, r: usize, noise: f64, seed: u64) -> Mat {
+        let u = rand_mat(m, r, seed);
+        let v = rand_mat(r, n, seed + 1);
+        let mut a = matmul(&u, &v);
+        let e = rand_mat(m, n, seed + 2);
+        for j in 0..n {
+            for i in 0..m {
+                a[(i, j)] += noise * e[(i, j)];
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn full_rank_no_truncation() {
+        let a = rand_mat(8, 6, 3);
+        let f = ColPivQr::factor_truncated(a, 1e-12, usize::MAX);
+        assert_eq!(f.rank(), 6);
+        // rdiag non-increasing (rank-revealing property).
+        for w in f.rdiag().windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn detects_numerical_rank() {
+        let a = low_rank(40, 30, 5, 1e-12, 7);
+        let f = ColPivQr::factor_truncated(a, 1e-8, usize::MAX);
+        assert_eq!(f.rank(), 5);
+    }
+
+    #[test]
+    fn max_rank_caps() {
+        let a = rand_mat(20, 20, 11);
+        let f = ColPivQr::factor_truncated(a, 0.0, 7);
+        assert_eq!(f.rank(), 7);
+    }
+
+    #[test]
+    fn perm_is_permutation() {
+        let a = low_rank(15, 12, 4, 1e-13, 5);
+        let f = ColPivQr::factor_truncated(a, 1e-9, usize::MAX);
+        let mut seen = vec![false; 12];
+        for &p in f.perm() {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn interp_coeffs_reconstruct_columns() {
+        // A = A[:, skeleton] * [I, T] P^T up to the truncation tolerance.
+        let a = low_rank(30, 18, 6, 0.0, 13);
+        let f = ColPivQr::factor_truncated(a.clone(), 1e-10, usize::MAX);
+        let s = f.rank();
+        assert_eq!(s, 6);
+        let skel: Vec<usize> = f.perm()[..s].to_vec();
+        let ask = a.select_cols(&skel);
+        let t = f.interp_coeffs();
+        // Non-skeleton column j (pivot position s + jj) ~= A_skel * t[:, jj].
+        let anorm = a.norm_max();
+        for jj in 0..18 - s {
+            let orig = f.perm()[s + jj];
+            let mut rec = vec![0.0; 30];
+            let tcol: Vec<f64> = (0..s).map(|i| t[(i, jj)]).collect();
+            crate::blas2::gemv(1.0, ask.rb(), &tcol, 0.0, &mut rec);
+            for i in 0..30 {
+                assert!(
+                    (rec[i] - a[(i, orig)]).abs() < 1e-8 * anorm,
+                    "col {orig} row {i}: {} vs {}",
+                    rec[i],
+                    a[(i, orig)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let a = Mat::zeros(6, 4);
+        let f = ColPivQr::factor_truncated(a, 1e-10, usize::MAX);
+        assert_eq!(f.rank(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Level-3 BLAS-style blocked matrix-matrix multiply.
+//!
+//! The implementation follows the BLIS/GotoBLAS structure the paper's GSKS
+//! kernel builds on: the operands are packed into cache-resident panels and
+//! multiplied by an `MR x NR` register-tile microkernel, with rayon
+//! parallelism across disjoint column panels of `C`.
+
+use crate::mat::{MatMut, MatRef};
+
+/// Whether an operand is used as-is or transposed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Register tile rows of the microkernel.
+const MR: usize = 8;
+/// Register tile columns of the microkernel.
+const NR: usize = 4;
+/// Cache block sizes (L2-ish for A panel, L1-ish for the k dimension).
+const MC: usize = 256;
+const KC: usize = 256;
+/// Column-panel width for parallel splitting.
+const NC_PAR: usize = 512;
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// # Panics
+/// Panics on dimension mismatch between `op(A)`, `op(B)` and `C`.
+pub fn gemm(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    let (m, ka) = op_shape(a, ta);
+    let (kb, n) = op_shape(b, tb);
+    assert_eq!(ka, kb, "gemm: inner dimension mismatch");
+    assert_eq!(c.nrows(), m, "gemm: C row mismatch");
+    assert_eq!(c.ncols(), n, "gemm: C col mismatch");
+    gemm_parallel(alpha, a, ta, b, tb, beta, c, ka);
+}
+
+/// Convenience wrapper: returns `A * B` as a new matrix.
+pub fn matmul(a: &crate::mat::Mat, b: &crate::mat::Mat) -> crate::mat::Mat {
+    let mut c = crate::mat::Mat::zeros(a.nrows(), b.ncols());
+    gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 0.0, c.rb_mut());
+    c
+}
+
+/// Convenience wrapper: returns `op(A) * op(B)` as a new matrix.
+pub fn matmul_op(
+    a: &crate::mat::Mat,
+    ta: Trans,
+    b: &crate::mat::Mat,
+    tb: Trans,
+) -> crate::mat::Mat {
+    let (m, _) = op_shape(a.rb(), ta);
+    let (_, n) = op_shape(b.rb(), tb);
+    let mut c = crate::mat::Mat::zeros(m, n);
+    gemm(1.0, a.rb(), ta, b.rb(), tb, 0.0, c.rb_mut());
+    c
+}
+
+fn op_shape(a: MatRef<'_>, t: Trans) -> (usize, usize) {
+    match t {
+        Trans::No => (a.nrows(), a.ncols()),
+        Trans::Yes => (a.ncols(), a.nrows()),
+    }
+}
+
+#[inline]
+fn op_get(a: MatRef<'_>, t: Trans, i: usize, j: usize) -> f64 {
+    match t {
+        Trans::No => a.get(i, j),
+        Trans::Yes => a.get(j, i),
+    }
+}
+
+/// Splits `C` (and the matching columns of `op(B)`) into column panels and
+/// multiplies them in parallel; each panel is handled by the serial blocked
+/// kernel. Panels are disjoint so this is race-free by construction.
+#[allow(clippy::too_many_arguments)]
+fn gemm_parallel(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    c: MatMut<'_>,
+    k: usize,
+) {
+    let n = c.ncols();
+    if n > NC_PAR && rayon::current_num_threads() > 1 {
+        let half = (n / 2 + NR - 1) / NR * NR;
+        let half = half.min(n);
+        let (cl, cr) = c.split_at_col(half);
+        let (bl, br) = match tb {
+            Trans::No => (b.submatrix(0..k, 0..half), b.submatrix(0..k, half..n)),
+            Trans::Yes => (b.submatrix(0..half, 0..k), b.submatrix(half..n, 0..k)),
+        };
+        rayon::join(
+            || gemm_parallel(alpha, a, ta, bl, tb, beta, cl, k),
+            || gemm_parallel(alpha, a, ta, br, tb, beta, cr, k),
+        );
+    } else {
+        gemm_blocked(alpha, a, ta, b, tb, beta, c, k);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    mut c: MatMut<'_>,
+    k: usize,
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Apply beta up front; the packed loops then always accumulate.
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for j in 0..n {
+            crate::blas1::scal(beta, c.col_mut(j));
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    let mut apack = vec![0.0f64; MC.min(m).next_multiple_of(MR) * KC.min(k)];
+    let mut bpack = vec![0.0f64; KC.min(k) * n.next_multiple_of(NR)];
+
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        pack_b(b, tb, pc, kc, 0, n, &mut bpack);
+        for ic in (0..m).step_by(MC) {
+            let mc = MC.min(m - ic);
+            pack_a(a, ta, ic, mc, pc, kc, &mut apack);
+            macro_kernel(alpha, &apack, &bpack, mc, n, kc, ic, c.rb_mut());
+        }
+    }
+}
+
+/// Packs `op(A)[ic..ic+mc, pc..pc+kc]` into MR-row panels, zero-padded.
+fn pack_a(a: MatRef<'_>, ta: Trans, ic: usize, mc: usize, pc: usize, kc: usize, out: &mut [f64]) {
+    let panels = mc.div_ceil(MR);
+    for p in 0..panels {
+        let r0 = p * MR;
+        let rows = MR.min(mc - r0);
+        let base = p * MR * kc;
+        if ta == Trans::No && rows == MR {
+            // Fast path: contiguous column reads.
+            for kk in 0..kc {
+                let col = a.col(pc + kk);
+                let dst = &mut out[base + kk * MR..base + kk * MR + MR];
+                dst.copy_from_slice(&col[ic + r0..ic + r0 + MR]);
+            }
+        } else {
+            for kk in 0..kc {
+                for r in 0..MR {
+                    out[base + kk * MR + r] = if r < rows {
+                        op_get(a, ta, ic + r0 + r, pc + kk)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs `op(B)[pc..pc+kc, jc..jc+nc]` into NR-column panels, zero-padded.
+fn pack_b(b: MatRef<'_>, tb: Trans, pc: usize, kc: usize, jc: usize, nc: usize, out: &mut [f64]) {
+    let panels = nc.div_ceil(NR);
+    for p in 0..panels {
+        let c0 = p * NR;
+        let cols = NR.min(nc - c0);
+        let base = p * NR * kc;
+        for kk in 0..kc {
+            for cl in 0..NR {
+                out[base + kk * NR + cl] = if cl < cols {
+                    op_get(b, tb, pc + kk, jc + c0 + cl)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    alpha: f64,
+    apack: &[f64],
+    bpack: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    ic: usize,
+    mut c: MatMut<'_>,
+) {
+    let mpanels = mc.div_ceil(MR);
+    let npanels = nc.div_ceil(NR);
+    for jp in 0..npanels {
+        let j0 = jp * NR;
+        let jcols = NR.min(nc - j0);
+        let bpanel = &bpack[jp * NR * kc..(jp * NR * kc) + NR * kc];
+        for ipn in 0..mpanels {
+            let i0 = ipn * MR;
+            let irows = MR.min(mc - i0);
+            let apanel = &apack[ipn * MR * kc..(ipn * MR * kc) + MR * kc];
+            let acc = micro_kernel(apanel, bpanel, kc);
+            // Accumulate the (possibly partial) tile into C.
+            for jl in 0..jcols {
+                let ccol = c.col_mut(j0 + jl);
+                for il in 0..irows {
+                    ccol[ic + i0 + il] += alpha * acc[il][jl];
+                }
+            }
+        }
+    }
+}
+
+/// The `MR x NR` register-tile kernel: `acc = sum_k a_panel[:,k] * b_panel[k,:]`.
+#[inline]
+fn micro_kernel(apanel: &[f64], bpanel: &[f64], kc: usize) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    for kk in 0..kc {
+        let av: &[f64] = &apanel[kk * MR..kk * MR + MR];
+        let bv: &[f64] = &bpanel[kk * NR..kk * NR + NR];
+        for (il, accrow) in acc.iter_mut().enumerate() {
+            let ai = av[il];
+            for (jl, accel) in accrow.iter_mut().enumerate() {
+                *accel += ai * bv[jl];
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn naive(a: &Mat, ta: Trans, b: &Mat, tb: Trans) -> Mat {
+        let (m, k) = op_shape(a.rb(), ta);
+        let (_, n) = op_shape(b.rb(), tb);
+        Mat::from_fn(m, n, |i, j| {
+            (0..k).map(|p| op_get(a.rb(), ta, i, p) * op_get(b.rb(), tb, p, j)).sum()
+        })
+    }
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+        // Deterministic pseudo-random fill (LCG) to avoid test-only deps here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Mat::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn check_close(a: &Mat, b: &Mat, tol: f64) {
+        assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()));
+        for j in 0..a.ncols() {
+            for i in 0..a.nrows() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_all_transpose_combos() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 13), (64, 33, 20)] {
+            for &ta in &[Trans::No, Trans::Yes] {
+                for &tb in &[Trans::No, Trans::Yes] {
+                    let a = if ta == Trans::No { rand_mat(m, k, 1) } else { rand_mat(k, m, 2) };
+                    let b = if tb == Trans::No { rand_mat(k, n, 3) } else { rand_mat(n, k, 4) };
+                    let mut c = Mat::zeros(m, n);
+                    gemm(1.0, a.rb(), ta, b.rb(), tb, 0.0, c.rb_mut());
+                    check_close(&c, &naive(&a, ta, &b, tb), 1e-11 * k as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = rand_mat(10, 7, 5);
+        let b = rand_mat(7, 9, 6);
+        let c0 = rand_mat(10, 9, 7);
+        let mut c = c0.clone();
+        gemm(2.0, a.rb(), Trans::No, b.rb(), Trans::No, -0.5, c.rb_mut());
+        let ab = naive(&a, Trans::No, &b, Trans::No);
+        for j in 0..9 {
+            for i in 0..10 {
+                let want = 2.0 * ab[(i, j)] - 0.5 * c0[(i, j)];
+                assert!((c[(i, j)] - want).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_large_crosses_block_boundaries() {
+        let (m, k, n) = (MC + 19, KC + 5, 2 * NR + 3);
+        let a = rand_mat(m, k, 11);
+        let b = rand_mat(k, n, 12);
+        let mut c = Mat::zeros(m, n);
+        gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 0.0, c.rb_mut());
+        check_close(&c, &naive(&a, Trans::No, &b, Trans::No), 1e-10 * k as f64);
+    }
+
+    #[test]
+    fn gemm_on_submatrix_views() {
+        let a = rand_mat(12, 12, 21);
+        let b = rand_mat(12, 12, 22);
+        let asub = a.submatrix(2..7, 3..11); // 5 x 8
+        let bsub = b.submatrix(1..9, 4..10); // 8 x 6
+        let mut c = Mat::zeros(5, 6);
+        gemm(1.0, asub, Trans::No, bsub, Trans::No, 0.0, c.rb_mut());
+        let aow = asub.to_mat();
+        let bow = bsub.to_mat();
+        check_close(&c, &naive(&aow, Trans::No, &bow, Trans::No), 1e-11);
+    }
+
+    #[test]
+    fn gemm_empty_k() {
+        let a = Mat::zeros(3, 0);
+        let b = Mat::zeros(0, 2);
+        let mut c = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 1.0, c.rb_mut());
+        assert_eq!(c[(2, 1)], 3.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_mat(8, 8, 31);
+        let id = Mat::identity(8);
+        check_close(&matmul(&a, &id), &a, 1e-14);
+        check_close(&matmul(&id, &a), &a, 1e-14);
+    }
+}

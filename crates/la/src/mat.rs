@@ -1,0 +1,564 @@
+//! Column-major dense matrix types.
+//!
+//! [`Mat`] owns its storage; [`MatRef`] and [`MatMut`] are borrowed views with
+//! a column stride, so submatrices (contiguous row/column ranges) can be taken
+//! without copying. All numeric kernels in this crate operate on views.
+
+use std::fmt;
+
+/// An owned, column-major, `f64` dense matrix.
+///
+/// Element `(i, j)` lives at `data[i + j * nrows]`. Column-major layout is
+/// chosen to match the access patterns of the factorization kernels (panel
+/// updates, column pivoting) and LAPACK conventions.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates an `nrows x ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Mat { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Creates a matrix from a function of the index pair `(i, j)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        Mat { nrows, ncols, data }
+    }
+
+    /// Creates a matrix from column-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "column-major data length mismatch");
+        Mat { nrows, ncols, data }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `true` if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0 || self.ncols == 0
+    }
+
+    /// Underlying column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying column-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Borrowing view of the whole matrix.
+    #[inline]
+    pub fn rb(&self) -> MatRef<'_> {
+        MatRef { data: &self.data, nrows: self.nrows, ncols: self.ncols, col_stride: self.nrows }
+    }
+
+    /// Mutable borrowing view of the whole matrix.
+    #[inline]
+    pub fn rb_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_stride: self.nrows,
+            data: &mut self.data,
+        }
+    }
+
+    /// View of rows `rows` and columns `cols`.
+    pub fn submatrix(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> MatRef<'_> {
+        self.rb().submatrix(rows, cols)
+    }
+
+    /// The transpose as a new owned matrix.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Scales every element by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        crate::blas1::nrm2(&self.data)
+    }
+
+    /// Maximum absolute element (`max |a_ij|`), 0 for empty matrices.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Extracts the columns of `self` selected by `idx` into a new matrix.
+    pub fn select_cols(&self, idx: &[usize]) -> Mat {
+        let mut out = Mat::zeros(self.nrows, idx.len());
+        for (k, &j) in idx.iter().enumerate() {
+            out.col_mut(k).copy_from_slice(self.col(j));
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self, other]`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hcat(&self, other: &Mat) -> Mat {
+        assert_eq!(self.nrows, other.nrows, "hcat: row count mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Mat { nrows: self.nrows, ncols: self.ncols + other.ncols, data }
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vcat(&self, other: &Mat) -> Mat {
+        assert_eq!(self.ncols, other.ncols, "vcat: column count mismatch");
+        let mut out = Mat::zeros(self.nrows + other.nrows, self.ncols);
+        for j in 0..self.ncols {
+            out.col_mut(j)[..self.nrows].copy_from_slice(self.col(j));
+            out.col_mut(j)[self.nrows..].copy_from_slice(other.col(j));
+        }
+        out
+    }
+
+    /// Swaps columns `a` and `b`.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = self.data.split_at_mut(hi * self.nrows);
+        left[lo * self.nrows..(lo + 1) * self.nrows].swap_with_slice(&mut right[..self.nrows]);
+    }
+
+    /// Swaps rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.ncols {
+            self.data.swap(a + j * self.nrows, b + j * self.nrows);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.nrows, self.ncols)?;
+        let show_rows = self.nrows.min(8);
+        let show_cols = self.ncols.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            for j in 0..show_cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if show_cols < self.ncols { "..." } else { "" })?;
+        }
+        if show_rows < self.nrows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Immutable column-major matrix view with a column stride.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    data: &'a [f64],
+    nrows: usize,
+    ncols: usize,
+    col_stride: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Builds a view from raw column-major parts.
+    ///
+    /// # Panics
+    /// Panics if the slice is too short for the given shape/stride.
+    pub fn from_parts(data: &'a [f64], nrows: usize, ncols: usize, col_stride: usize) -> Self {
+        assert!(col_stride >= nrows || ncols <= 1);
+        if ncols > 0 {
+            assert!(data.len() >= (ncols - 1) * col_stride + nrows, "view out of bounds");
+        }
+        MatRef { data, nrows, ncols, col_stride }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn col_stride(&self) -> usize {
+        self.col_stride
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i + j * self.col_stride]
+    }
+
+    /// Column `j` as a contiguous slice of length `nrows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.col_stride..j * self.col_stride + self.nrows]
+    }
+
+    /// Sub-view of rows `rows` and columns `cols`.
+    pub fn submatrix(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> MatRef<'a> {
+        assert!(rows.end <= self.nrows && cols.end <= self.ncols, "submatrix out of bounds");
+        assert!(rows.start <= rows.end && cols.start <= cols.end);
+        let offset = rows.start + cols.start * self.col_stride;
+        let nrows = rows.end - rows.start;
+        let ncols = cols.end - cols.start;
+        // Degenerate (zero-extent) views carry no data at all; computing an
+        // offset into possibly-empty parent storage would be out of bounds.
+        let (start, end) = if ncols == 0 || nrows == 0 {
+            (0, 0)
+        } else {
+            (offset, offset + (ncols - 1) * self.col_stride + nrows)
+        };
+        MatRef { data: &self.data[start..end], nrows, ncols, col_stride: self.col_stride }
+    }
+
+    /// Copies the view into an owned matrix.
+    pub fn to_mat(&self) -> Mat {
+        let mut out = Mat::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            out.col_mut(j).copy_from_slice(self.col(j));
+        }
+        out
+    }
+}
+
+/// Mutable column-major matrix view with a column stride.
+pub struct MatMut<'a> {
+    data: &'a mut [f64],
+    nrows: usize,
+    ncols: usize,
+    col_stride: usize,
+}
+
+impl<'a> MatMut<'a> {
+    /// Builds a mutable view from raw column-major parts.
+    ///
+    /// # Panics
+    /// Panics if the slice is too short for the given shape/stride.
+    pub fn from_parts(data: &'a mut [f64], nrows: usize, ncols: usize, col_stride: usize) -> Self {
+        assert!(col_stride >= nrows || ncols <= 1);
+        if ncols > 0 {
+            assert!(data.len() >= (ncols - 1) * col_stride + nrows, "view out of bounds");
+        }
+        MatMut { data, nrows, ncols, col_stride }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn col_stride(&self) -> usize {
+        self.col_stride
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i + j * self.col_stride]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i + j * self.col_stride] = v;
+    }
+
+    /// Column `j` as a mutable contiguous slice of length `nrows`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.col_stride..j * self.col_stride + self.nrows]
+    }
+
+    /// Immutable snapshot of this view.
+    #[inline]
+    pub fn rb(&self) -> MatRef<'_> {
+        MatRef { data: self.data, nrows: self.nrows, ncols: self.ncols, col_stride: self.col_stride }
+    }
+
+    /// Reborrows the view mutably (shorter lifetime).
+    #[inline]
+    pub fn rb_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            data: self.data,
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_stride: self.col_stride,
+        }
+    }
+
+    /// Splits into the columns `[0, j)` and `[j, ncols)`.
+    pub fn split_at_col(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(j <= self.ncols);
+        let (left, right) = self.data.split_at_mut(j * self.col_stride);
+        (
+            MatMut { data: left, nrows: self.nrows, ncols: j, col_stride: self.col_stride },
+            MatMut {
+                data: right,
+                nrows: self.nrows,
+                ncols: self.ncols - j,
+                col_stride: self.col_stride,
+            },
+        )
+    }
+
+    /// Mutable sub-view of rows `rows` and columns `cols`.
+    pub fn submatrix_mut(
+        self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> MatMut<'a> {
+        assert!(rows.end <= self.nrows && cols.end <= self.ncols, "submatrix out of bounds");
+        let offset = rows.start + cols.start * self.col_stride;
+        let nrows = rows.end - rows.start;
+        let ncols = cols.end - cols.start;
+        let (start, end) = if ncols == 0 || nrows == 0 {
+            (0, 0)
+        } else {
+            (offset, offset + (ncols - 1) * self.col_stride + nrows)
+        };
+        MatMut { data: &mut self.data[start..end], nrows, ncols, col_stride: self.col_stride }
+    }
+
+    /// Fills the view with `v`.
+    pub fn fill(&mut self, v: f64) {
+        for j in 0..self.ncols {
+            self.col_mut(j).fill(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_indexing_roundtrip() {
+        let m = Mat::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], (i * 10 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn col_major_layout() {
+        let m = Mat::from_fn(2, 2, |i, j| (i + 2 * j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_and_transpose() {
+        let i3 = Mat::identity(3);
+        assert_eq!(i3.transpose(), i3);
+        let m = Mat::from_fn(2, 3, |i, j| (i + j * 7) as f64);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn submatrix_view_matches_elements() {
+        let m = Mat::from_fn(5, 6, |i, j| (i * 100 + j) as f64);
+        let v = m.submatrix(1..4, 2..5);
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v.ncols(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(v.get(i, j), m[(i + 1, j + 2)]);
+            }
+        }
+        let owned = v.to_mat();
+        assert_eq!(owned[(2, 2)], m[(3, 4)]);
+    }
+
+    #[test]
+    fn swap_rows_cols() {
+        let mut m = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let orig = m.clone();
+        m.swap_cols(0, 2);
+        m.swap_cols(0, 2);
+        m.swap_rows(1, 2);
+        m.swap_rows(2, 1);
+        assert_eq!(m, orig);
+        m.swap_rows(0, 1);
+        assert_eq!(m[(0, 0)], orig[(1, 0)]);
+    }
+
+    #[test]
+    fn hcat_vcat_shapes() {
+        let a = Mat::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Mat::from_fn(2, 3, |i, j| (i * j) as f64);
+        let h = a.hcat(&b);
+        assert_eq!((h.nrows(), h.ncols()), (2, 5));
+        assert_eq!(h[(1, 3)], b[(1, 1)]);
+        let c = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        let v = a.vcat(&c);
+        assert_eq!((v.nrows(), v.ncols()), (5, 2));
+        assert_eq!(v[(3, 1)], c[(1, 1)]);
+    }
+
+    #[test]
+    fn select_cols_picks_columns() {
+        let m = Mat::from_fn(3, 5, |i, j| (j * 10 + i) as f64);
+        let s = m.select_cols(&[4, 0, 2]);
+        assert_eq!(s.col(0), m.col(4));
+        assert_eq!(s.col(1), m.col(0));
+        assert_eq!(s.col(2), m.col(2));
+    }
+
+    #[test]
+    fn split_at_col_disjoint() {
+        let mut m = Mat::zeros(3, 4);
+        let (mut l, mut r) = m.rb_mut().split_at_col(2);
+        l.fill(1.0);
+        r.fill(2.0);
+        assert_eq!(m.col(1), &[1.0; 3]);
+        assert_eq!(m.col(2), &[2.0; 3]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Mat::from_col_major(2, 2, vec![3.0, 0.0, 0.0, -4.0]);
+        assert!((m.norm_fro() - 5.0).abs() < 1e-14);
+        assert_eq!(m.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn degenerate_submatrix_of_empty_storage() {
+        // A (1 x 0) matrix has no storage; zero-extent sub-views anywhere
+        // inside its logical shape must be valid (regression test for the
+        // rank-0 skeleton case).
+        let m = Mat::zeros(1, 0);
+        let v = m.submatrix(1..1, 0..0);
+        assert_eq!((v.nrows(), v.ncols()), (0, 0));
+        let t = Mat::zeros(3, 2);
+        let v2 = t.submatrix(3..3, 0..2);
+        assert_eq!(v2.nrows(), 0);
+        let mut t2 = Mat::zeros(2, 3);
+        let v3 = t2.rb_mut().submatrix_mut(2..2, 3..3);
+        assert_eq!((v3.nrows(), v3.ncols()), (0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn hcat_mismatch_panics() {
+        let a = Mat::zeros(2, 2);
+        let b = Mat::zeros(3, 2);
+        let _ = a.hcat(&b);
+    }
+}

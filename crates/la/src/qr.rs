@@ -1,0 +1,204 @@
+//! Householder QR factorization and reflector utilities.
+//!
+//! The reflector helpers here are shared with the column-pivoted,
+//! rank-revealing variant in [`crate::cpqr`], which is what the
+//! interpolative decomposition (skeletonization) is built on.
+
+use crate::blas1::{axpy, dot, nrm2};
+use crate::mat::{Mat, MatMut};
+
+/// Computes a Householder reflector for `x` in place.
+///
+/// On return `x\[0\]` holds the resulting `R` diagonal entry (beta) and
+/// `x[1..]` holds the reflector tail `v` (with implicit `v\[0\] = 1`); the
+/// returned `tau` satisfies `H = I - tau * v v^T`, `H x = beta e_1`.
+pub fn make_householder(x: &mut [f64]) -> f64 {
+    let alpha = x[0];
+    let xnorm = nrm2(&x[1..]);
+    if xnorm == 0.0 {
+        return 0.0; // Already in e_1 direction; H = I.
+    }
+    let beta = -(alpha.signum()) * (alpha * alpha + xnorm * xnorm).sqrt();
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for v in &mut x[1..] {
+        *v *= scale;
+    }
+    x[0] = beta;
+    tau
+}
+
+/// Applies `H = I - tau v v^T` (reflector tail `v`, implicit leading 1) to
+/// every column of `a` from the left: `a[:, j] = H a[:, j]`.
+///
+/// `a` must have the same number of rows as `1 + v.len()`.
+pub fn apply_householder_left(v: &[f64], tau: f64, mut a: MatMut<'_>) {
+    if tau == 0.0 {
+        return;
+    }
+    debug_assert_eq!(a.nrows(), v.len() + 1);
+    for j in 0..a.ncols() {
+        let col = a.col_mut(j);
+        let w = tau * (col[0] + dot(v, &col[1..]));
+        col[0] -= w;
+        axpy(-w, v, &mut col[1..]);
+    }
+}
+
+/// A (thin) Householder QR factorization `A = Q R`.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Packed reflectors below the diagonal, `R` on and above.
+    qr: Mat,
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` (consumed), `m >= n` or `m < n` both supported.
+    pub fn factor(mut a: Mat) -> Self {
+        let m = a.nrows();
+        let n = a.ncols();
+        let kmax = m.min(n);
+        let mut tau = vec![0.0; kmax];
+        for k in 0..kmax {
+            let t = {
+                let col = &mut a.col_mut(k)[k..];
+                make_householder(col)
+            };
+            tau[k] = t;
+            if t != 0.0 && k + 1 < n {
+                let stride = m;
+                let (head, tail) = a.as_mut_slice().split_at_mut((k + 1) * m);
+                let v = head[k * m + k + 1..(k + 1) * m].to_vec();
+                let trailing = MatMut::from_parts(&mut tail[k..], m - k, n - k - 1, stride);
+                apply_householder_left(&v, t, trailing);
+            }
+        }
+        Qr { qr: a, tau }
+    }
+
+    /// The upper-triangular factor `R` (`min(m,n) x n`).
+    pub fn r(&self) -> Mat {
+        let k = self.qr.nrows().min(self.qr.ncols());
+        Mat::from_fn(k, self.qr.ncols(), |i, j| if i <= j { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// The thin orthogonal factor `Q` (`m x min(m,n)`).
+    pub fn q(&self) -> Mat {
+        let m = self.qr.nrows();
+        let k = m.min(self.qr.ncols());
+        let mut q = Mat::zeros(m, k);
+        for i in 0..k {
+            q[(i, i)] = 1.0;
+        }
+        // Accumulate Q = H_0 H_1 ... H_{k-1} I by applying reflectors in
+        // reverse order.
+        for kk in (0..k).rev() {
+            let t = self.tau[kk];
+            if t == 0.0 {
+                continue;
+            }
+            let v = self.qr.col(kk)[kk + 1..].to_vec();
+            let qview = q.rb_mut().submatrix_mut(kk..m, 0..k);
+            apply_householder_left(&v, t, qview);
+        }
+        q
+    }
+
+    /// Applies `Q^T` to a vector in place (length `m`).
+    pub fn apply_qt(&self, x: &mut [f64]) {
+        let m = self.qr.nrows();
+        assert_eq!(x.len(), m);
+        let k = m.min(self.qr.ncols());
+        for kk in 0..k {
+            let t = self.tau[kk];
+            if t == 0.0 {
+                continue;
+            }
+            let v = &self.qr.col(kk)[kk + 1..];
+            let w = t * (x[kk] + dot(v, &x[kk + 1..]));
+            x[kk] -= w;
+            axpy(-w, v, &mut x[kk + 1..]);
+        }
+    }
+
+    /// Least-squares solve `min ||A x - b||` for `m >= n` (returns `x`).
+    pub fn solve_ls(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.qr.ncols();
+        assert!(self.qr.nrows() >= n, "solve_ls requires m >= n");
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        let mut x = y[..n].to_vec();
+        crate::tri::solve_upper_inplace(self.qr.submatrix(0..n, 0..n), &mut x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_op, Trans};
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn householder_annihilates() {
+        let mut x = vec![3.0, 4.0, 0.0, 12.0];
+        let orig = x.clone();
+        let norm = nrm2(&x);
+        let tau = make_householder(&mut x);
+        // Applying H to the original vector must give (beta, 0, 0, 0).
+        let v = x[1..].to_vec();
+        let mut m = Mat::from_col_major(4, 1, orig);
+        apply_householder_left(&v, tau, m.rb_mut());
+        assert!((m[(0, 0)].abs() - norm).abs() < 1e-12);
+        for i in 1..4 {
+            assert!(m[(i, 0)].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        for &(m, n) in &[(6, 6), (10, 4), (4, 7)] {
+            let a = rand_mat(m, n, (m * 31 + n) as u64);
+            let f = Qr::factor(a.clone());
+            let rec = matmul(&f.q(), &f.r());
+            for j in 0..n {
+                for i in 0..m {
+                    assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = rand_mat(12, 5, 9);
+        let q = Qr::factor(a).q();
+        let qtq = matmul_op(&q, Trans::Yes, &q, Trans::No);
+        for j in 0..5 {
+            for i in 0..5 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_consistent_system() {
+        let a = rand_mat(9, 4, 17);
+        let x_true = [1.0, -2.0, 0.5, 3.0];
+        let mut b = vec![0.0; 9];
+        crate::blas2::gemv(1.0, a.rb(), &x_true, 0.0, &mut b);
+        let x = Qr::factor(a).solve_ls(&b);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the dense linear algebra kernels.
+
+use kfds_la::{gemm, interp_decomp, ColPivQr, Lu, Mat, Trans};
+use proptest::prelude::*;
+
+fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Mat::from_col_major(m, n, data))
+    })
+}
+
+fn square_mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| {
+            let mut a = Mat::from_col_major(n, n, data);
+            // Diagonal boost keeps the matrices comfortably nonsingular so
+            // the solve-accuracy property is well-posed.
+            for i in 0..n {
+                a[(i, i)] += 20.0;
+            }
+            a
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_naive(a in mat_strategy(12), b in mat_strategy(12)) {
+        // Reshape b so the product is defined: use b's data with a.ncols rows.
+        let k = a.ncols();
+        let n = b.as_slice().len() / k.max(1);
+        prop_assume!(n >= 1);
+        let b = Mat::from_col_major(k, n, b.as_slice()[..k * n].to_vec());
+        let mut c = Mat::zeros(a.nrows(), n);
+        gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 0.0, c.rb_mut());
+        for j in 0..n {
+            for i in 0..a.nrows() {
+                let want: f64 = (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum();
+                prop_assert!((c[(i, j)] - want).abs() <= 1e-9 * (1.0 + want.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn lu_solves_accurately(a in square_mat_strategy(16), xs in proptest::collection::vec(-5.0f64..5.0, 16)) {
+        let n = a.nrows();
+        let x_true = &xs[..n];
+        let mut b = vec![0.0; n];
+        kfds_la::blas2::gemv(1.0, a.rb(), x_true, 0.0, &mut b);
+        let f = Lu::factor(a).unwrap();
+        let x = f.solve(&b);
+        for (u, v) in x.iter().zip(x_true) {
+            prop_assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn cpqr_perm_is_bijection(a in mat_strategy(14)) {
+        let n = a.ncols();
+        let f = ColPivQr::factor_truncated(a, 0.0, usize::MAX);
+        let mut seen = vec![false; n];
+        for &p in f.perm() {
+            prop_assert!(p < n && !seen[p]);
+            seen[p] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cpqr_rdiag_nonincreasing(a in mat_strategy(14)) {
+        let f = ColPivQr::factor_truncated(a, 0.0, usize::MAX);
+        for w in f.rdiag().windows(2) {
+            // Column pivoting guarantees this up to roundoff.
+            prop_assert!(w[1] <= w[0] * (1.0 + 1e-10));
+        }
+    }
+
+    #[test]
+    fn id_reconstructs_skeleton_columns(a in mat_strategy(12)) {
+        let id = interp_decomp(a.clone(), 0.0, usize::MAX);
+        let ask = a.select_cols(&id.skeleton);
+        let rec = kfds_la::matmul(&ask, &id.proj);
+        // With tol = 0 (full rank) the ID must reproduce A exactly
+        // (up to roundoff amplified by the triangular solve).
+        let scale = a.norm_max().max(1.0);
+        let cond_slack = 1e-5; // pivoted QR keeps this moderate for random A
+        for j in 0..a.ncols() {
+            for i in 0..a.nrows() {
+                prop_assert!(
+                    (rec[(i, j)] - a[(i, j)]).abs() <= cond_slack * scale,
+                    "({i},{j}): {} vs {}", rec[(i, j)], a[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_consistency(a in mat_strategy(10)) {
+        // (A^T A) computed two ways must agree.
+        let at = a.transpose();
+        let g1 = kfds_la::matmul_op(&a, Trans::Yes, &a, Trans::No);
+        let g2 = kfds_la::matmul(&at, &a);
+        for j in 0..g1.ncols() {
+            for i in 0..g1.nrows() {
+                prop_assert!((g1[(i, j)] - g2[(i, j)]).abs() < 1e-9 * (1.0 + g1[(i, j)].abs()));
+            }
+        }
+    }
+}

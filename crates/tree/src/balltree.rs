@@ -1,0 +1,524 @@
+//! Ball tree construction (Omohundro \[26\]): the geometric partitioner that
+//! orders the kernel matrix so off-diagonal blocks are low rank.
+//!
+//! Starting at the root, each node is split into two children with an equal
+//! number of points by a hyperplane: we project the node's points onto the
+//! direction spanned by two (approximately) farthest points and split at the
+//! median projection. Splitting stops when a node holds at most `m` points
+//! (the user-specified leaf size). The tree permutes the points so every
+//! node owns a contiguous index range — diagonal blocks of the permuted
+//! kernel matrix correspond to tree nodes.
+
+use crate::points::{sq_dist, PointSet};
+use rayon::join;
+
+/// The hyperplane direction used to split a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SplitRule {
+    /// Project onto the direction between two (approximately) farthest
+    /// points — the ball-tree rule of the paper (Omohundro \[26\]).
+    #[default]
+    FarthestPair,
+    /// Split along the coordinate axis of maximum spread (KD-tree style).
+    /// Cheaper per level; typically yields slightly larger skeleton ranks
+    /// for anisotropic data (see the `ablations` bench).
+    MaxSpreadAxis,
+}
+
+/// A node of the ball tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// First owned position (in permuted order).
+    pub begin: usize,
+    /// One past the last owned position.
+    pub end: usize,
+    /// Depth (root = 0).
+    pub level: usize,
+    /// Indices of the children in [`BallTree::nodes`], if internal.
+    pub children: Option<(usize, usize)>,
+    /// Index of the parent node (`None` for the root).
+    pub parent: Option<usize>,
+    /// Index of the sibling node (`None` for the root).
+    pub sibling: Option<usize>,
+    /// Ball center (centroid of owned points).
+    pub center: Vec<f64>,
+    /// Ball radius: max distance from the center to an owned point.
+    pub radius: f64,
+}
+
+impl Node {
+    /// Number of points owned by this node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// `true` if the node owns no points (never happens for `n > 0`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+
+    /// `true` if the node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+
+    /// The owned range of (permuted) point positions.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.begin..self.end
+    }
+}
+
+/// A ball tree over a point set, with the induced permutation.
+#[derive(Clone, Debug)]
+pub struct BallTree {
+    /// Flat node storage; index 0 is the root.
+    nodes: Vec<Node>,
+    /// `perm[k]` = original index of the point at permuted position `k`.
+    perm: Vec<usize>,
+    /// `inv_perm[orig]` = permuted position of original point `orig`.
+    inv_perm: Vec<usize>,
+    /// The points in permuted order.
+    points: PointSet,
+    /// Node indices grouped by level (`levels[l]` = nodes at depth `l`).
+    levels: Vec<Vec<usize>>,
+    leaf_size: usize,
+}
+
+impl BallTree {
+    /// Builds a ball tree with leaf size `m` over `points`.
+    ///
+    /// The input point set is not modified; the tree stores a permuted copy
+    /// (see [`BallTree::points`], [`BallTree::perm`]).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `m == 0`.
+    pub fn build(points: &PointSet, m: usize) -> Self {
+        Self::build_with_rule(points, m, SplitRule::FarthestPair)
+    }
+
+    /// Builds a tree with an explicit [`SplitRule`].
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `m == 0`.
+    pub fn build_with_rule(points: &PointSet, m: usize, rule: SplitRule) -> Self {
+        assert!(m > 0, "leaf size must be positive");
+        let n = points.len();
+        assert!(n > 0, "cannot build a tree over zero points");
+
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Recursively split, collecting nodes in a preorder list.
+        let builder = Builder { points, leaf_size: m, rule };
+        let tree_box = builder.split(&mut idx);
+        let mut nodes = Vec::new();
+        flatten(tree_box, 0, None, &mut nodes);
+
+        // Fix up sibling links now that all indices are known.
+        for i in 0..nodes.len() {
+            if let Some((l, r)) = nodes[i].children {
+                nodes[l].sibling = Some(r);
+                nodes[r].sibling = Some(l);
+            }
+        }
+
+        let mut inv_perm = vec![0usize; n];
+        for (k, &orig) in idx.iter().enumerate() {
+            inv_perm[orig] = k;
+        }
+        let permuted = points.permute(&idx);
+
+        let max_level = nodes.iter().map(|nd| nd.level).max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); max_level + 1];
+        for (i, nd) in nodes.iter().enumerate() {
+            levels[nd.level].push(i);
+        }
+
+        BallTree { nodes, perm: idx, inv_perm, points: permuted, levels, leaf_size: m }
+    }
+
+    /// All nodes (index 0 = root).
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node by index.
+    #[inline]
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// The root node index (always 0).
+    #[inline]
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// The permuted point set the tree owns.
+    #[inline]
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// `perm()[k]` is the original index of permuted position `k`.
+    #[inline]
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// `inv_perm()[orig]` is the permuted position of original index `orig`.
+    #[inline]
+    pub fn inv_perm(&self) -> &[usize] {
+        &self.inv_perm
+    }
+
+    /// Leaf size parameter `m`.
+    #[inline]
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// Tree depth (level of the deepest node).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Node indices at depth `l` (empty slice if `l` exceeds the depth).
+    pub fn nodes_at_level(&self, l: usize) -> &[usize] {
+        self.levels.get(l).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Indices of all leaves.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_leaf()).collect()
+    }
+
+    /// Applies `x` (indexed by original ids) into permuted order.
+    pub fn permute_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.perm.len());
+        self.perm.iter().map(|&o| x[o]).collect()
+    }
+
+    /// Scatters a permuted-order vector back to original ids.
+    pub fn unpermute_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.perm.len());
+        let mut out = vec![0.0; x.len()];
+        for (k, &o) in self.perm.iter().enumerate() {
+            out[o] = x[k];
+        }
+        out
+    }
+}
+
+struct Builder<'a> {
+    points: &'a PointSet,
+    leaf_size: usize,
+    rule: SplitRule,
+}
+
+/// Intermediate boxed tree used during recursive construction.
+struct BoxNode {
+    count: usize,
+    center: Vec<f64>,
+    radius: f64,
+    children: Option<(Box<BoxNode>, Box<BoxNode>)>,
+}
+
+impl Builder<'_> {
+    /// Splits `idx` (reordered in place) and returns the subtree.
+    fn split(&self, idx: &mut [usize]) -> Box<BoxNode> {
+        let count = idx.len();
+        let (center, radius) = self.ball_of(idx);
+        if count <= self.leaf_size {
+            return Box::new(BoxNode { count, center, radius, children: None });
+        }
+        if self.rule == SplitRule::MaxSpreadAxis {
+            return self.split_axis(idx, count, center, radius);
+        }
+        // Splitting direction: approximate diameter by a double sweep —
+        // farthest point p1 from the centroid, then farthest point p2 from
+        // p1. Project onto p2 - p1 and split at the median.
+        let p1 = idx
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let da = sq_dist(self.points.point(a), &center);
+                let db = sq_dist(self.points.point(b), &center);
+                da.partial_cmp(&db).expect("NaN coordinate")
+            })
+            .expect("non-empty node");
+        let p2 = idx
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let da = self.points.sq_dist(a, p1);
+                let db = self.points.sq_dist(b, p1);
+                da.partial_cmp(&db).expect("NaN coordinate")
+            })
+            .expect("non-empty node");
+        let x1 = self.points.point(p1);
+        let x2 = self.points.point(p2);
+        let dir: Vec<f64> = x1.iter().zip(x2).map(|(a, b)| b - a).collect();
+
+        let proj = |i: usize| -> f64 {
+            self.points.point(i).iter().zip(&dir).map(|(x, d)| x * d).sum()
+        };
+        let half = count / 2;
+        // Equal split at the median projection (paper: children hold an
+        // equal number of points). Degenerate direction (all points equal)
+        // still splits by position, keeping the tree balanced.
+        idx.select_nth_unstable_by(half, |&a, &b| {
+            proj(a).partial_cmp(&proj(b)).expect("NaN projection")
+        });
+
+        let (left_idx, right_idx) = idx.split_at_mut(half);
+        let parallel = count > 4096;
+        let (l, r) = if parallel {
+            // Children own disjoint slices; rayon::join keeps construction
+            // O(N log N) span-efficient.
+            join(|| self.split(left_idx), || self.split(right_idx))
+        } else {
+            (self.split(left_idx), self.split(right_idx))
+        };
+        Box::new(BoxNode { count, center, radius, children: Some((l, r)) })
+    }
+
+    /// KD-style split: median along the coordinate of maximum spread.
+    fn split_axis(
+        &self,
+        idx: &mut [usize],
+        count: usize,
+        center: Vec<f64>,
+        radius: f64,
+    ) -> Box<BoxNode> {
+        let d = self.points.dim();
+        let mut best_axis = 0;
+        let mut best_spread = -1.0;
+        for axis in 0..d {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in idx.iter() {
+                let v = self.points.point(i)[axis];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_axis = axis;
+            }
+        }
+        let half = count / 2;
+        idx.select_nth_unstable_by(half, |&a, &b| {
+            self.points.point(a)[best_axis]
+                .partial_cmp(&self.points.point(b)[best_axis])
+                .expect("NaN coordinate")
+        });
+        let (left_idx, right_idx) = idx.split_at_mut(half);
+        let (l, r) = if count > 4096 {
+            join(|| self.split(left_idx), || self.split(right_idx))
+        } else {
+            (self.split(left_idx), self.split(right_idx))
+        };
+        Box::new(BoxNode { count, center, radius, children: Some((l, r)) })
+    }
+
+    fn ball_of(&self, idx: &[usize]) -> (Vec<f64>, f64) {
+        let d = self.points.dim();
+        let mut center = vec![0.0; d];
+        for &i in idx {
+            for (c, &v) in center.iter_mut().zip(self.points.point(i)) {
+                *c += v;
+            }
+        }
+        let inv = 1.0 / idx.len() as f64;
+        for c in &mut center {
+            *c *= inv;
+        }
+        let radius = idx
+            .iter()
+            .map(|&i| sq_dist(self.points.point(i), &center))
+            .fold(0.0f64, f64::max)
+            .sqrt();
+        (center, radius)
+    }
+}
+
+/// Flattens the boxed tree into preorder `Vec<Node>` storage, assigning
+/// contiguous point ranges.
+fn flatten(boxed: Box<BoxNode>, begin: usize, parent: Option<usize>, out: &mut Vec<Node>) -> usize {
+    let my_index = out.len();
+    let level = parent.map(|p| out[p].level + 1).unwrap_or(0);
+    out.push(Node {
+        begin,
+        end: begin + boxed.count,
+        level,
+        children: None,
+        parent,
+        sibling: None,
+        center: boxed.center,
+        radius: boxed.radius,
+    });
+    if let Some((l, r)) = boxed.children {
+        let lcount = l.count;
+        let li = flatten(l, begin, Some(my_index), out);
+        let ri = flatten(r, begin + lcount, Some(my_index), out);
+        out[my_index].children = Some((li, ri));
+    }
+    my_index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize, d: usize) -> PointSet {
+        let mut data = Vec::with_capacity(n * d);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..n * d {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0);
+        }
+        PointSet::from_col_major(d, data)
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_partition() {
+        let p = grid_points(257, 3);
+        let t = BallTree::build(&p, 16);
+        let root = t.node(t.root());
+        assert_eq!(root.range(), 0..257);
+        for (i, nd) in t.nodes().iter().enumerate() {
+            if let Some((l, r)) = nd.children {
+                assert_eq!(t.node(l).begin, nd.begin, "node {i}");
+                assert_eq!(t.node(l).end, t.node(r).begin);
+                assert_eq!(t.node(r).end, nd.end);
+                // Equal split up to one point.
+                assert!((t.node(l).len() as isize - t.node(r).len() as isize).abs() <= 1);
+            } else {
+                assert!(nd.len() <= 16, "leaf too big: {}", nd.len());
+            }
+        }
+    }
+
+    #[test]
+    fn perm_is_bijective_and_points_match() {
+        let p = grid_points(100, 4);
+        let t = BallTree::build(&p, 8);
+        let mut seen = vec![false; 100];
+        for &o in t.perm() {
+            assert!(!seen[o]);
+            seen[o] = true;
+        }
+        for k in 0..100 {
+            assert_eq!(t.points().point(k), p.point(t.perm()[k]));
+            assert_eq!(t.inv_perm()[t.perm()[k]], k);
+        }
+    }
+
+    #[test]
+    fn balls_contain_their_points() {
+        let p = grid_points(300, 2);
+        let t = BallTree::build(&p, 10);
+        for nd in t.nodes() {
+            for k in nd.range() {
+                let dist = sq_dist(t.points().point(k), &nd.center).sqrt();
+                assert!(dist <= nd.radius * (1.0 + 1e-12) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_group_nodes() {
+        let p = grid_points(128, 2);
+        let t = BallTree::build(&p, 16);
+        assert_eq!(t.nodes_at_level(0), &[0]);
+        let total: usize = (0..=t.depth()).map(|l| t.nodes_at_level(l).len()).sum();
+        assert_eq!(total, t.nodes().len());
+        // 128 points, leaf 16 => balanced depth log2(128/16) = 3.
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.leaves().len(), 8);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let p = grid_points(5, 3);
+        let t = BallTree::build(&p, 10);
+        assert_eq!(t.nodes().len(), 1);
+        assert!(t.node(0).is_leaf());
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn identical_points_still_split() {
+        let data: Vec<f64> = (0..64).flat_map(|_| [1.0, 2.0]).collect();
+        let p = PointSet::from_col_major(2, data);
+        let t = BallTree::build(&p, 4);
+        for nd in t.nodes() {
+            if nd.is_leaf() {
+                assert!(nd.len() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn axis_split_rule_invariants() {
+        let p = grid_points(300, 4);
+        let t = BallTree::build_with_rule(&p, 16, SplitRule::MaxSpreadAxis);
+        let mut seen = vec![false; 300];
+        for &o in t.perm() {
+            assert!(!seen[o]);
+            seen[o] = true;
+        }
+        for nd in t.nodes() {
+            if let Some((l, r)) = nd.children {
+                assert_eq!(t.node(l).end, t.node(r).begin);
+                assert!((t.node(l).len() as isize - t.node(r).len() as isize).abs() <= 1);
+            } else {
+                assert!(nd.len() <= 16);
+            }
+            for k in nd.range() {
+                let d = sq_dist(t.points().point(k), &nd.center).sqrt();
+                assert!(d <= nd.radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn axis_split_separates_dominant_axis() {
+        // Points spread along x only: the first split must separate x.
+        let data: Vec<f64> = (0..100).flat_map(|i| [i as f64, 0.0]).collect();
+        let p = PointSet::from_col_major(2, data);
+        let t = BallTree::build_with_rule(&p, 10, SplitRule::MaxSpreadAxis);
+        let (l, r) = t.node(0).children.expect("root split");
+        let max_left = t.node(l).range().map(|k| t.points().point(k)[0]).fold(f64::MIN, f64::max);
+        let min_right = t.node(r).range().map(|k| t.points().point(k)[0]).fold(f64::MAX, f64::min);
+        assert!(max_left <= min_right);
+    }
+
+    #[test]
+    fn permute_unpermute_roundtrip() {
+        let p = grid_points(64, 3);
+        let t = BallTree::build(&p, 8);
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let y = t.permute_vec(&x);
+        let z = t.unpermute_vec(&y);
+        assert_eq!(x, z);
+    }
+
+    #[test]
+    fn sibling_links() {
+        let p = grid_points(64, 2);
+        let t = BallTree::build(&p, 8);
+        for (i, nd) in t.nodes().iter().enumerate() {
+            if let Some(s) = nd.sibling {
+                assert_eq!(t.node(s).sibling, Some(i));
+                assert_eq!(t.node(s).parent, nd.parent);
+            } else {
+                assert_eq!(i, t.root());
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # kfds-tree — geometric substrate for `kernel-fds`
+//!
+//! Point sets, the ball-tree partitioner that induces the hierarchical
+//! ordering of the kernel matrix, exact k-nearest-neighbor search (used by
+//! ASKIT's skeletonization row sampling), and seeded synthetic dataset
+//! generators standing in for the paper's real-world data (see `DESIGN.md`
+//! for the substitution rationale).
+
+pub mod balltree;
+pub mod datasets;
+pub mod neighbors;
+pub mod points;
+
+pub use balltree::{BallTree, Node, SplitRule};
+pub use neighbors::{knn_all, knn_approximate, knn_brute_force, knn_recall, NeighborLists};
+pub use points::{sq_dist, PointSet};

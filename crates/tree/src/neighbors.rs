@@ -1,0 +1,406 @@
+//! Exact k-nearest-neighbor search with ball tree pruning.
+//!
+//! ASKIT uses per-point nearest-neighbor lists to choose the sampled rows
+//! `S'` of the skeletonization targets (§II-A: "κ is the number of nearest
+//! neighbors used for skeletonization sampling"). We compute exact kNN with
+//! the ball tree built for the partitioning itself, pruning subtrees whose
+//! ball cannot contain a closer point than the current k-th best.
+
+use crate::balltree::BallTree;
+use crate::points::sq_dist;
+use rayon::prelude::*;
+
+/// k-nearest-neighbor lists for every point of a tree's point set.
+///
+/// Indices are **permuted positions** (the tree's ordering), which is what
+/// the skeletonization consumes directly.
+#[derive(Clone, Debug)]
+pub struct NeighborLists {
+    k: usize,
+    /// Row-major `n x k`: `idx[i*k + j]` = j-th nearest neighbor of point i.
+    idx: Vec<u32>,
+    /// Matching squared distances.
+    dist: Vec<f64>,
+}
+
+impl NeighborLists {
+    /// Number of neighbors per point.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Neighbors of point `i` (permuted positions), nearest first.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.idx[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Squared distances to the neighbors of `i`, nearest first.
+    pub fn distances(&self, i: usize) -> &[f64] {
+        &self.dist[i * self.k..(i + 1) * self.k]
+    }
+}
+
+/// A bounded max-heap of (distance, index) candidates.
+struct KBest {
+    k: usize,
+    // (sq_dist, idx) max-heap by distance.
+    heap: Vec<(f64, u32)>,
+}
+
+impl KBest {
+    fn new(k: usize) -> Self {
+        KBest { k, heap: Vec::with_capacity(k + 1) }
+    }
+
+    #[inline]
+    fn worst(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap[0].0
+        }
+    }
+
+    fn push(&mut self, d: f64, i: u32) {
+        if self.heap.len() < self.k {
+            self.heap.push((d, i));
+            // Sift up.
+            let mut c = self.heap.len() - 1;
+            while c > 0 {
+                let p = (c - 1) / 2;
+                if self.heap[p].0 < self.heap[c].0 {
+                    self.heap.swap(p, c);
+                    c = p;
+                } else {
+                    break;
+                }
+            }
+        } else if d < self.heap[0].0 {
+            self.heap[0] = (d, i);
+            // Sift down.
+            let mut p = 0;
+            loop {
+                let (l, r) = (2 * p + 1, 2 * p + 2);
+                let mut m = p;
+                if l < self.heap.len() && self.heap[l].0 > self.heap[m].0 {
+                    m = l;
+                }
+                if r < self.heap.len() && self.heap[r].0 > self.heap[m].0 {
+                    m = r;
+                }
+                if m == p {
+                    break;
+                }
+                self.heap.swap(p, m);
+                p = m;
+            }
+        }
+    }
+
+    fn into_sorted(mut self) -> Vec<(f64, u32)> {
+        self.heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        self.heap
+    }
+}
+
+/// Computes exact k-nearest neighbors (excluding the point itself) for all
+/// points in `tree`, in parallel over query points.
+///
+/// # Panics
+/// Panics if `k >= n` or `k == 0`.
+pub fn knn_all(tree: &BallTree, k: usize) -> NeighborLists {
+    let n = tree.points().len();
+    assert!(k > 0 && k < n, "need 0 < k < n (k={k}, n={n})");
+    let mut idx = vec![0u32; n * k];
+    let mut dist = vec![0.0f64; n * k];
+
+    idx.par_chunks_mut(k)
+        .zip(dist.par_chunks_mut(k))
+        .enumerate()
+        .for_each(|(q, (irow, drow))| {
+            let mut best = KBest::new(k);
+            search(tree, tree.root(), q, &mut best);
+            for (j, (d, i)) in best.into_sorted().into_iter().enumerate() {
+                irow[j] = i;
+                drow[j] = d;
+            }
+        });
+
+    NeighborLists { k, idx, dist }
+}
+
+fn search(tree: &BallTree, node: usize, q: usize, best: &mut KBest) {
+    let nd = tree.node(node);
+    let pts = tree.points();
+    let qp = pts.point(q);
+    if nd.is_leaf() {
+        for i in nd.range() {
+            if i != q {
+                let d = sq_dist(qp, pts.point(i));
+                best.push(d, i as u32);
+            }
+        }
+        return;
+    }
+    let (l, r) = nd.children.expect("internal node");
+    // Visit the closer child first for tighter pruning bounds.
+    let dl = sq_dist(qp, &tree.node(l).center);
+    let dr = sq_dist(qp, &tree.node(r).center);
+    let order = if dl <= dr { [l, r] } else { [r, l] };
+    for &c in &order {
+        let cn = tree.node(c);
+        let center_dist = sq_dist(qp, &cn.center).sqrt();
+        let lower = (center_dist - cn.radius).max(0.0);
+        if lower * lower < best.worst() {
+            search(tree, c, q, best);
+        }
+    }
+}
+
+/// Approximate kNN via randomized projection trees — the scheme ASKIT
+/// uses in high ambient dimensions, where ball-pruned exact search
+/// degenerates to `O(N²d)`.
+///
+/// `n_trees` random trees are built by recursively splitting on random
+/// directions at the median; each point's candidate set is the union of
+/// its leaf buckets across trees (plus the bucket's exactness), and exact
+/// distances are computed only among candidates: `O(T·N·bucket·d)` total.
+/// Recall improves with `n_trees`; indices refer to the *permuted*
+/// positions of `tree`, like [`knn_all`].
+///
+/// # Panics
+/// Panics if `k >= n`, `k == 0`, or `n_trees == 0`.
+pub fn knn_approximate(tree: &BallTree, k: usize, n_trees: usize, seed: u64) -> NeighborLists {
+    let pts = tree.points();
+    let n = pts.len();
+    let d = pts.dim();
+    assert!(k > 0 && k < n, "need 0 < k < n (k={k}, n={n})");
+    assert!(n_trees > 0, "need at least one projection tree");
+    let bucket = (4 * k).max(32).min(n);
+
+    // For each projection tree, bucket ids per point.
+    let mut buckets: Vec<Vec<u32>> = Vec::with_capacity(n_trees);
+    for t in 0..n_trees {
+        let mut assignment = vec![0u32; n];
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut next_bucket = 0u32;
+        // Deterministic per-tree RNG (splitmix-style stream).
+        let mut state = seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        // Iterative median splits on random directions.
+        let mut stack: Vec<(usize, usize)> = vec![(0, n)];
+        let mut dir = vec![0.0f64; d];
+        while let Some((lo, hi)) = stack.pop() {
+            if hi - lo <= bucket {
+                for &i in &idx[lo..hi] {
+                    assignment[i] = next_bucket;
+                }
+                next_bucket += 1;
+                continue;
+            }
+            for v in &mut dir {
+                *v = rnd();
+            }
+            let mid = lo + (hi - lo) / 2;
+            idx[lo..hi].select_nth_unstable_by(mid - lo, |&a, &b| {
+                let pa = kfds_la::blas1::dot(pts.point(a), &dir);
+                let pb = kfds_la::blas1::dot(pts.point(b), &dir);
+                pa.partial_cmp(&pb).expect("NaN projection")
+            });
+            stack.push((lo, mid));
+            stack.push((mid, hi));
+        }
+        buckets.push(assignment);
+    }
+
+    // Invert: members per (tree, bucket).
+    let mut members: Vec<Vec<Vec<u32>>> = Vec::with_capacity(n_trees);
+    for assignment in &buckets {
+        let nb = assignment.iter().copied().max().unwrap_or(0) as usize + 1;
+        let mut m = vec![Vec::new(); nb];
+        for (i, &b) in assignment.iter().enumerate() {
+            m[b as usize].push(i as u32);
+        }
+        members.push(m);
+    }
+
+    let mut idx_out = vec![0u32; n * k];
+    let mut dist_out = vec![0.0f64; n * k];
+    idx_out
+        .par_chunks_mut(k)
+        .zip(dist_out.par_chunks_mut(k))
+        .enumerate()
+        .for_each(|(q, (irow, drow))| {
+            let mut best = KBest::new(k);
+            let mut seen: Vec<u32> = Vec::with_capacity(n_trees * bucket);
+            for t in 0..n_trees {
+                let b = buckets[t][q] as usize;
+                for &c in &members[t][b] {
+                    if c as usize != q && !seen.contains(&c) {
+                        seen.push(c);
+                        best.push(pts.sq_dist(q, c as usize), c);
+                    }
+                }
+            }
+            let sorted = best.into_sorted();
+            for (j, (dd, i)) in sorted.iter().enumerate() {
+                irow[j] = *i;
+                drow[j] = *dd;
+            }
+            // Pathological case (k > candidates): pad with sequential ids.
+            for j in sorted.len()..k {
+                let fallback = if q == 0 { 1 } else { 0 } as u32;
+                irow[j] = fallback;
+                drow[j] = pts.sq_dist(q, fallback as usize);
+            }
+        });
+
+    NeighborLists { k, idx: idx_out, dist: dist_out }
+}
+
+/// Fraction of exact k-nearest neighbors recovered by `approx` (averaged
+/// over points) — the recall metric for [`knn_approximate`].
+pub fn knn_recall(exact: &NeighborLists, approx: &NeighborLists) -> f64 {
+    assert_eq!(exact.k(), approx.k());
+    let k = exact.k();
+    let n = exact.idx.len() / k;
+    let mut hits = 0usize;
+    for i in 0..n {
+        let e = exact.neighbors(i);
+        for c in approx.neighbors(i) {
+            if e.contains(c) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / (n * k) as f64
+}
+
+/// Brute-force kNN reference (O(n² d)); used for testing and tiny inputs.
+pub fn knn_brute_force(tree: &BallTree, k: usize) -> NeighborLists {
+    let pts = tree.points();
+    let n = pts.len();
+    assert!(k > 0 && k < n);
+    let mut idx = vec![0u32; n * k];
+    let mut dist = vec![0.0f64; n * k];
+    for q in 0..n {
+        let mut cands: Vec<(f64, u32)> =
+            (0..n).filter(|&i| i != q).map(|i| (pts.sq_dist(q, i), i as u32)).collect();
+        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        for j in 0..k {
+            idx[q * k + j] = cands[j].1;
+            dist[q * k + j] = cands[j].0;
+        }
+    }
+    NeighborLists { k, idx, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::PointSet;
+
+    fn rand_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut state = seed | 1;
+        let mut data = Vec::with_capacity(n * d);
+        for _ in 0..n * d {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0);
+        }
+        PointSet::from_col_major(d, data)
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let p = rand_points(200, 3, 42);
+        let t = BallTree::build(&p, 16);
+        let fast = knn_all(&t, 5);
+        let slow = knn_brute_force(&t, 5);
+        for i in 0..200 {
+            // Compare distances (indices can differ on exact ties).
+            for j in 0..5 {
+                let df = fast.distances(i)[j];
+                let ds = slow.distances(i)[j];
+                assert!((df - ds).abs() < 1e-12, "point {i} neighbor {j}: {df} vs {ds}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_excludes_self_and_sorted() {
+        let p = rand_points(100, 4, 7);
+        let t = BallTree::build(&p, 8);
+        let nn = knn_all(&t, 6);
+        for i in 0..100 {
+            let ds = nn.distances(i);
+            for w in ds.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            for &j in nn.neighbors(i) {
+                assert_ne!(j as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_on_line_finds_adjacent() {
+        // Points on a line at integer positions: nearest neighbor of i is
+        // i-1 or i+1 (in permuted coordinates we check distances instead).
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let p = PointSet::from_col_major(1, data);
+        let t = BallTree::build(&p, 4);
+        let nn = knn_all(&t, 2);
+        for i in 0..50 {
+            assert!(nn.distances(i)[0] <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn approximate_knn_recall() {
+        // Low intrinsic dimension: projection trees should recover most
+        // true neighbors with a handful of trees.
+        let p = crate::datasets::normal_embedded(400, 3, 24, 0.05, 5);
+        let t = BallTree::build(&p, 16);
+        let exact = knn_all(&t, 8);
+        let approx = knn_approximate(&t, 8, 6, 42);
+        let recall = knn_recall(&exact, &approx);
+        assert!(recall > 0.7, "recall {recall}");
+        // More trees => recall does not get (much) worse.
+        let approx1 = knn_approximate(&t, 8, 1, 42);
+        let r1 = knn_recall(&exact, &approx1);
+        assert!(recall >= r1 - 0.05, "6 trees {recall} vs 1 tree {r1}");
+    }
+
+    #[test]
+    fn approximate_knn_well_formed() {
+        let p = rand_points(150, 8, 3);
+        let t = BallTree::build(&p, 16);
+        let nn = knn_approximate(&t, 5, 3, 7);
+        for i in 0..150 {
+            let ds = nn.distances(i);
+            for w in ds.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+            for &j in nn.neighbors(i) {
+                assert_ne!(j as usize, i, "self-neighbor at {i}");
+                assert!((j as usize) < 150);
+            }
+        }
+    }
+
+    #[test]
+    fn high_dim_small_n() {
+        let p = rand_points(30, 64, 9);
+        let t = BallTree::build(&p, 8);
+        let fast = knn_all(&t, 3);
+        let slow = knn_brute_force(&t, 3);
+        for i in 0..30 {
+            for j in 0..3 {
+                assert!((fast.distances(i)[j] - slow.distances(i)[j]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Point sets: the `d x N` coordinate matrix `X` of the paper.
+
+use kfds_la::blas1::dot;
+
+/// A set of `n` points in `d` dimensions, stored column-major (`d x n`):
+/// point `i` is the contiguous slice `data[i*d .. (i+1)*d]`.
+///
+/// This is the layout the fused kernel summation wants — a kernel block
+/// evaluation streams whole points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSet {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl PointSet {
+    /// Creates a point set from column-major coordinates.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim`.
+    pub fn from_col_major(dim: usize, data: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        PointSet { dim, data }
+    }
+
+    /// An empty set with capacity for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0);
+        PointSet { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` if there are no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutable coordinates of point `i`.
+    #[inline]
+    pub fn point_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Raw column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != dim`.
+    pub fn push(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim);
+        self.data.extend_from_slice(p);
+    }
+
+    /// Squared Euclidean distance between points `i` and `j`.
+    #[inline]
+    pub fn sq_dist(&self, i: usize, j: usize) -> f64 {
+        sq_dist(self.point(i), self.point(j))
+    }
+
+    /// Squared Euclidean norms of every point (`‖x_i‖²`), used to turn
+    /// pairwise distances into a GEMM (`‖x−y‖² = ‖x‖²+‖y‖²−2xᵀy`).
+    pub fn sq_norms(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| dot(self.point(i), self.point(i))).collect()
+    }
+
+    /// A new point set containing `idx`-selected points (with repetition
+    /// allowed).
+    pub fn select(&self, idx: &[usize]) -> PointSet {
+        let mut out = PointSet::with_capacity(self.dim, idx.len());
+        for &i in idx {
+            out.push(self.point(i));
+        }
+        out
+    }
+
+    /// Reorders points so that new position `k` holds old point `perm[k]`.
+    ///
+    /// # Panics
+    /// Panics if `perm.len() != self.len()`.
+    pub fn permute(&self, perm: &[usize]) -> PointSet {
+        assert_eq!(perm.len(), self.len(), "permutation length mismatch");
+        self.select(perm)
+    }
+
+    /// Normalizes every coordinate to zero mean and unit variance in place
+    /// (the preprocessing used for all datasets in the paper's Table II).
+    /// Coordinates with zero variance are left centered.
+    pub fn normalize(&mut self) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        let d = self.dim;
+        let mut mean = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in mean.iter_mut().zip(self.point(i)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; d];
+        for i in 0..n {
+            for k in 0..d {
+                let c = self.data[i * d + k] - mean[k];
+                var[k] += c * c;
+            }
+        }
+        let inv_std: Vec<f64> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n as f64).sqrt();
+                if s > 0.0 {
+                    1.0 / s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        for i in 0..n {
+            for k in 0..d {
+                self.data[i * d + k] = (self.data[i * d + k] - mean[k]) * inv_std[k];
+            }
+        }
+    }
+
+    /// The coordinate-wise mean of the points in `range`.
+    pub fn centroid(&self, range: std::ops::Range<usize>) -> Vec<f64> {
+        let mut c = vec![0.0; self.dim];
+        let count = range.len().max(1) as f64;
+        for i in range {
+            for (ck, &v) in c.iter_mut().zip(self.point(i)) {
+                *ck += v;
+            }
+        }
+        for ck in &mut c {
+            *ck /= count;
+        }
+        c
+    }
+}
+
+/// Squared Euclidean distance between two coordinate slices.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dxy = x - y;
+        s += dxy * dxy;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps() -> PointSet {
+        // 3 points in 2-D: (0,0), (3,4), (1,1).
+        PointSet::from_col_major(2, vec![0.0, 0.0, 3.0, 4.0, 1.0, 1.0])
+    }
+
+    #[test]
+    fn accessors() {
+        let p = ps();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.dim(), 2);
+        assert_eq!(p.point(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let p = ps();
+        assert_eq!(p.sq_dist(0, 1), 25.0);
+        assert_eq!(p.sq_dist(0, 0), 0.0);
+        assert_eq!(p.sq_dist(2, 0), 2.0);
+    }
+
+    #[test]
+    fn sq_norms_match_self_distance_to_origin() {
+        let p = ps();
+        assert_eq!(p.sq_norms(), vec![0.0, 25.0, 2.0]);
+    }
+
+    #[test]
+    fn select_and_permute() {
+        let p = ps();
+        let s = p.select(&[2, 2, 0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.point(0), &[1.0, 1.0]);
+        assert_eq!(s.point(2), &[0.0, 0.0]);
+        let q = p.permute(&[1, 2, 0]);
+        assert_eq!(q.point(0), p.point(1));
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_var() {
+        let mut p = PointSet::from_col_major(1, vec![1.0, 2.0, 3.0, 4.0]);
+        p.normalize();
+        let mean: f64 = (0..4).map(|i| p.point(i)[0]).sum::<f64>() / 4.0;
+        let var: f64 = (0..4).map(|i| p.point(i)[0].powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_constant_coordinate() {
+        let mut p = PointSet::from_col_major(2, vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0]);
+        p.normalize();
+        for i in 0..3 {
+            assert_eq!(p.point(i)[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn centroid() {
+        let p = ps();
+        let c = p.centroid(0..3);
+        assert!((c[0] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((c[1] - 5.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the geometric substrate.
+
+use kfds_tree::{knn_all, knn_brute_force, BallTree, PointSet};
+use proptest::prelude::*;
+
+fn points_strategy(min_n: usize, max_n: usize, max_d: usize) -> impl Strategy<Value = PointSet> {
+    (min_n..=max_n, 1..=max_d).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-5.0f64..5.0, n * d)
+            .prop_map(move |data| PointSet::from_col_major(d, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_structural_invariants(pts in points_strategy(2, 120, 6), m in 1usize..20) {
+        let t = BallTree::build(&pts, m);
+        let n = pts.len();
+        // Permutation is a bijection and points match.
+        let mut seen = vec![false; n];
+        for (k, &o) in t.perm().iter().enumerate() {
+            prop_assert!(!seen[o]);
+            seen[o] = true;
+            prop_assert_eq!(t.points().point(k), pts.point(o));
+        }
+        // Children partition their parent contiguously; leaves respect m.
+        for (i, nd) in t.nodes().iter().enumerate() {
+            prop_assert!(!nd.is_empty());
+            match nd.children {
+                Some((l, r)) => {
+                    prop_assert_eq!(t.node(l).begin, nd.begin);
+                    prop_assert_eq!(t.node(l).end, t.node(r).begin);
+                    prop_assert_eq!(t.node(r).end, nd.end);
+                    prop_assert_eq!(t.node(l).parent, Some(i));
+                    prop_assert_eq!(t.node(r).sibling, Some(l));
+                }
+                None => prop_assert!(nd.len() <= m),
+            }
+        }
+    }
+
+    #[test]
+    fn balls_cover_points(pts in points_strategy(4, 80, 4), m in 2usize..12) {
+        let t = BallTree::build(&pts, m);
+        for nd in t.nodes() {
+            for k in nd.range() {
+                let d = kfds_tree::sq_dist(t.points().point(k), &nd.center).sqrt();
+                prop_assert!(d <= nd.radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_exactness(pts in points_strategy(10, 60, 4), k in 1usize..6) {
+        prop_assume!(k < pts.len());
+        let t = BallTree::build(&pts, 6);
+        let fast = knn_all(&t, k);
+        let slow = knn_brute_force(&t, k);
+        for i in 0..pts.len() {
+            for j in 0..k {
+                let df = fast.distances(i)[j];
+                let ds = slow.distances(i)[j];
+                prop_assert!((df - ds).abs() < 1e-10, "point {i} rank {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_idempotent_statistics(pts in points_strategy(8, 60, 4)) {
+        let mut p = pts;
+        p.normalize();
+        let n = p.len() as f64;
+        for c in 0..p.dim() {
+            let mean: f64 = (0..p.len()).map(|i| p.point(i)[c]).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-9);
+            let var: f64 = (0..p.len()).map(|i| p.point(i)[c].powi(2)).sum::<f64>() / n;
+            // Either unit variance or a degenerate (constant) coordinate.
+            prop_assert!((var - 1.0).abs() < 1e-7 || var < 1e-12);
+        }
+    }
+}

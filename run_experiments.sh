@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper into results/.
+# Run serially — timing fidelity requires an otherwise-idle machine.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+cargo build --release -p kfds-bench --bins
+for b in table1_gsks table2_datasets table3_factorization table4_single_node \
+         fig4_scaling table5_hybrid fig5_convergence ablations; do
+    echo "=== $b ==="
+    ./target/release/$b "$@" > results/$b.txt 2>&1 \
+        && echo "    ok -> results/$b.txt" \
+        || echo "    FAILED (see results/$b.txt)"
+done

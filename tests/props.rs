@@ -1,0 +1,109 @@
+//! Property-based tests over the whole solver pipeline: for arbitrary
+//! small configurations, the factorization must invert the compressed
+//! operator and the tree/permutation invariants must hold.
+
+use kernel_fds::prelude::*;
+use proptest::prelude::*;
+
+fn rel_err(a: &[f64], b: &[f64]) -> f64 {
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    let den: f64 = b.iter().map(|v| v * v).sum();
+    (num / den.max(1e-300)).sqrt()
+}
+
+proptest! {
+    // Each case builds a full pipeline; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn solve_then_apply_is_identity(
+        n in 96usize..320,
+        m in 8usize..40,
+        h in 0.4f64..3.0,
+        lambda in 0.05f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        let points = datasets::normal_embedded(n, 2, 6, 0.05, seed);
+        let kernel = Gaussian::new(h);
+        let tree = BallTree::build(&points, m);
+        let st = skeletonize(
+            tree,
+            &kernel,
+            SkelConfig::default().with_tol(1e-6).with_max_rank(64).with_neighbors(6),
+        );
+        let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(lambda))
+            .expect("factorization");
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37 + seed as f64).sin()).collect();
+        let x = ft.solve(&b).expect("solve");
+        let xp = st.tree().permute_vec(&x);
+        let bp = st.tree().permute_vec(&b);
+        let applied = hier_matvec(&st, &kernel, lambda, &xp);
+        let r = rel_err(&applied, &bp);
+        prop_assert!(r < 1e-7, "residual {r} for n={n} m={m} h={h} lambda={lambda}");
+    }
+
+    #[test]
+    fn tree_permutation_bijective(
+        n in 10usize..500,
+        m in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let points = datasets::uniform_cube(n, 3, seed);
+        let tree = BallTree::build(&points, m);
+        let mut seen = vec![false; n];
+        for &p in tree.perm() {
+            prop_assert!(p < n && !seen[p]);
+            seen[p] = true;
+        }
+        // Nodes partition [0, n) level by level.
+        for l in 0..=tree.depth() {
+            let mut covered = 0usize;
+            let mut nodes: Vec<_> = tree.nodes_at_level(l).to_vec();
+            nodes.sort_by_key(|&i| tree.node(i).begin);
+            for &i in &nodes {
+                let nd = tree.node(i);
+                prop_assert!(nd.begin <= nd.end && nd.end <= n);
+                covered += nd.len();
+            }
+            // Levels below the deepest leaf may not cover everything
+            // (leaves stop early), but no node may be empty.
+            prop_assert!(covered <= n);
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip(
+        n in 2usize..300,
+        seed in 0u64..1000,
+    ) {
+        let points = datasets::uniform_cube(n, 2, seed);
+        let tree = BallTree::build(&points, 8);
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 1.5 - 3.0).collect();
+        let rt = tree.unpermute_vec(&tree.permute_vec(&x));
+        prop_assert_eq!(x, rt);
+    }
+
+    #[test]
+    fn gmres_solves_shifted_kernel_systems(
+        n in 64usize..200,
+        h in 0.5f64..2.0,
+        seed in 0u64..100,
+    ) {
+        // λI + K with λ = 1 is well conditioned; GMRES on the treecode
+        // operator must converge.
+        let points = datasets::normal_embedded(n, 2, 5, 0.05, seed);
+        let kernel = Gaussian::new(h);
+        let tree = BallTree::build(&points, 16);
+        let st = skeletonize(
+            tree,
+            &kernel,
+            SkelConfig::default().with_tol(1e-6).with_max_rank(48).with_neighbors(6),
+        );
+        let op = kernel_fds::krylov::FnOp::new(n, |x: &[f64], y: &mut [f64]| {
+            y.copy_from_slice(&hier_matvec(&st, &kernel, 1.0, x));
+        });
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let res = kernel_fds::krylov::gmres(&op, &b, None, &GmresOptions::default());
+        prop_assert!(res.converged, "residual {}", res.residual);
+    }
+}
