@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, format.
+#
+#   ./ci.sh            # everything
+#   ./ci.sh --fast     # skip the release build
+#
+# Mirrors what a hosted pipeline would run; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "== cargo build --release =="
+  cargo build --release
+fi
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "CI OK"

@@ -169,8 +169,8 @@ mod tests {
         let ev = TreecodeEvaluator::new(&st, &kernel, w, 0.4);
         let queries = normal_embedded(10, 2, 6, 0.05, 7);
         let batch = ev.evaluate_batch(&queries);
-        for i in 0..10 {
-            assert_eq!(batch[i], ev.evaluate(queries.point(i)));
+        for (i, b) in batch.iter().enumerate() {
+            assert_eq!(*b, ev.evaluate(queries.point(i)));
         }
     }
 

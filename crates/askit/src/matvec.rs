@@ -50,10 +50,8 @@ fn apply_node<K: Kernel>(st: &SkeletonTree, kernel: &K, node: usize, u: &[f64]) 
         Some((l, r)) => {
             let nl = tree.node(l).len();
             let (ul, ur) = u.split_at(nl);
-            let (mut wl, mut wr) = rayon::join(
-                || apply_node(st, kernel, l, ul),
-                || apply_node(st, kernel, r, ur),
-            );
+            let (mut wl, mut wr) =
+                rayon::join(|| apply_node(st, kernel, l, ul), || apply_node(st, kernel, r, ur));
             // Off-diagonal coupling through the maximal skeletonized nodes.
             apply_offdiag(st, kernel, l, tree.node(r).range(), ur, &mut wl);
             apply_offdiag(st, kernel, r, tree.node(l).range(), ul, &mut wr);

@@ -47,9 +47,8 @@ pub fn sample_rows(
     }
 
     // Far-field rows: uniform over the complement, deterministic per node.
-    let mut rng = StdRng::seed_from_u64(
-        config.seed ^ (node_index as u64).wrapping_mul(0x9e3779b97f4a7c15),
-    );
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ (node_index as u64).wrapping_mul(0x9e3779b97f4a7c15));
     let mut attempts = 0usize;
     while rows.len() < target && attempts < 64 * target + 64 {
         attempts += 1;

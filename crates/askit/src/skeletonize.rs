@@ -176,8 +176,7 @@ mod tests {
         // the node sizes near the top.
         let p = normal_embedded(512, 2, 8, 0.01, 3);
         let tree = BallTree::build(&p, 32);
-        let cfg =
-            SkelConfig::default().with_tol(1e-4).with_max_rank(64).with_neighbors(8);
+        let cfg = SkelConfig::default().with_tol(1e-4).with_max_rank(64).with_neighbors(8);
         let st = skeletonize(tree, &Gaussian::new(2.0), cfg);
         let stats = st.rank_stats();
         // Level-1 nodes hold 256 points but must be represented by <= 64

@@ -27,9 +27,7 @@ fn bench_factorization(c: &mut Criterion) {
         b.iter(|| black_box(factorize(&st, &kernel, cfg).expect("factorize").stats().flops))
     });
     group.bench_function("baseline_nlog2n", |b| {
-        b.iter(|| {
-            black_box(factorize_baseline(&st, &kernel, cfg).expect("baseline").stats().flops)
-        })
+        b.iter(|| black_box(factorize_baseline(&st, &kernel, cfg).expect("baseline").stats().flops))
     });
     group.finish();
 }

@@ -9,13 +9,9 @@ fn bench_tree(c: &mut Criterion) {
     let pts = normal_embedded(8192, 4, 16, 0.05, 9);
     let mut group = c.benchmark_group("tree");
     group.sample_size(10);
-    group.bench_function("build_8K", |b| {
-        b.iter(|| black_box(BallTree::build(&pts, 128).depth()))
-    });
+    group.bench_function("build_8K", |b| b.iter(|| black_box(BallTree::build(&pts, 128).depth())));
     let tree = BallTree::build(&pts, 128);
-    group.bench_function("knn16_8K", |b| {
-        b.iter(|| black_box(knn_all(&tree, 16).k()))
-    });
+    group.bench_function("knn16_8K", |b| b.iter(|| black_box(knn_all(&tree, 16).k())));
     group.finish();
 }
 

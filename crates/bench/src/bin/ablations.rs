@@ -15,7 +15,9 @@
 //! cargo run --release -p kfds-bench --bin ablations [-- --scale 2]
 //! ```
 
-use kfds_bench::{arg_f64, build_skeleton_tree, header, row, standin, scaled_bandwidth, test_vec, timed};
+use kfds_bench::{
+    arg_f64, build_skeleton_tree, header, row, scaled_bandwidth, standin, test_vec, timed,
+};
 use kfds_core::{factorize, factorize_baseline, HybridSolver, SolverConfig, StorageMode};
 use kfds_krylov::GmresOptions;
 use kfds_tree::datasets::normal_embedded;
@@ -39,9 +41,10 @@ fn split_rule(scale: f64) {
     header(&["rule", "total skeleton", "approx err", "T_f (s)"]);
     let points = normal_embedded(n, 3, 16, 0.05, 51);
     let kernel = kfds_kernels::Gaussian::new(2.0);
-    for (rule, label) in
-        [(SplitRule::FarthestPair, "farthest-pair (ball)"), (SplitRule::MaxSpreadAxis, "max-spread axis (KD)")]
-    {
+    for (rule, label) in [
+        (SplitRule::FarthestPair, "farthest-pair (ball)"),
+        (SplitRule::MaxSpreadAxis, "max-spread axis (KD)"),
+    ] {
         let tree = BallTree::build_with_rule(&points, 128, rule);
         let st = kfds_askit::skeletonize(
             tree,
@@ -71,8 +74,16 @@ fn scheduler(scale: f64) {
     let cfg = SolverConfig::default();
     let (f1, t1) = timed(|| factorize(&st, &kernel, cfg).expect("level"));
     let (f2, t2) = timed(|| kfds_core::factorize_taskparallel(&st, &kernel, cfg).expect("task"));
-    row(&["level-synchronous".into(), format!("{t1:.2}"), format!("{:.2}", f1.stats().flops / 1e9)]);
-    row(&["task-parallel (dataflow)".into(), format!("{t2:.2}"), format!("{:.2}", f2.stats().flops / 1e9)]);
+    row(&[
+        "level-synchronous".into(),
+        format!("{t1:.2}"),
+        format!("{:.2}", f1.stats().flops / 1e9),
+    ]);
+    row(&[
+        "task-parallel (dataflow)".into(),
+        format!("{t2:.2}"),
+        format!("{:.2}", f2.stats().flops / 1e9),
+    ]);
     println!("# (single-core container: differences reflect scheduling overhead only)\n");
 }
 

@@ -66,7 +66,10 @@ fn strong_scaling() {
     let n = (16384.0 * scale) as usize;
     let m = 128;
     println!("# Figure 4 (right) — strong scaling, NORMAL stand-in, N = {n}");
-    println!("# note: this container exposes {} core(s)\n", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1));
+    println!(
+        "# note: this container exposes {} core(s)\n",
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    );
     let points = normal_embedded(n, 6, 64, 0.1, 19);
     let (st, kernel, _) = build_skeleton_tree(&points, 4.0, m, 0.0, 64, 1);
     let cfg = SolverConfig::default().with_lambda(1.0);

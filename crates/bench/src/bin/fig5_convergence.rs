@@ -11,7 +11,9 @@
 //! cargo run --release -p kfds-bench --bin fig5_convergence [-- --scale 2]
 //! ```
 
-use kfds_bench::{arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed};
+use kfds_bench::{
+    arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed,
+};
 use kfds_core::{estimate_sigma1, factorize, HybridSolver, SolverConfig};
 use kfds_krylov::{gmres, FnOp, GmresOptions};
 
@@ -61,10 +63,7 @@ fn main() {
             for e in plain.trace.iter().step_by(10.max(plain.trace.len() / 12)) {
                 println!("gmres,{},{:.3},{:.3e}", e.iter, t_setup + e.seconds, e.residual);
             }
-            let r_plain = rel_err(
-                &kfds_askit::hier_matvec(&st, &kernel, lambda, &plain.x),
-                &b,
-            );
+            let r_plain = rel_err(&kfds_askit::hier_matvec(&st, &kernel, lambda, &plain.x), &b);
             println!("gmres,{},{:.3},{:.3e}  # final", plain.iters, t_setup + t_plain, r_plain);
             println!(
                 "hybrid,{hy_iters},{:.3},{hy_res:.3e}  # final{}",
@@ -86,7 +85,15 @@ fn main() {
     }
 
     println!("\n# summary (iters/residual per method; time includes setup offsets)");
-    header(&["exp", "dataset", "kappa", "GMRES (a)", "hybrid (b)", "total time a vs b", "instability"]);
+    header(&[
+        "exp",
+        "dataset",
+        "kappa",
+        "GMRES (a)",
+        "hybrid (b)",
+        "total time a vs b",
+        "instability",
+    ]);
     for r in summary {
         row(&r);
     }

@@ -43,8 +43,7 @@ fn main() {
             let (_, t_ref) =
                 timed(|| sum_reference(&kernel, &pts, &rows_idx, &cols_idx, &u, &mut w));
             let w_ref = w.clone();
-            let (_, t_gsks) =
-                timed(|| sum_fused(&kernel, &pts, &rows_idx, &cols_idx, &u, &mut w));
+            let (_, t_gsks) = timed(|| sum_fused(&kernel, &pts, &rows_idx, &cols_idx, &u, &mut w));
             // Guard: both engines must agree.
             let err = kfds_bench::rel_err(&w, &w_ref);
             assert!(err < 1e-10, "engine mismatch {err}");

@@ -12,9 +12,9 @@
 //! cargo run --release -p kfds-bench --bin table2_datasets [-- --scale 2]
 //! ```
 
+use kfds_askit::SkelConfig;
 use kfds_bench::{arg_f64, header, row, scaled_bandwidth, standin};
 use kfds_core::{KernelRidge, SolverConfig};
-use kfds_askit::SkelConfig;
 use kfds_kernels::Gaussian;
 use kfds_tree::PointSet;
 
@@ -38,7 +38,16 @@ fn main() {
     let n = (4000.0 * scale) as usize;
     println!("# Table II — dataset stand-ins and ridge-regression accuracy");
     println!("# N scaled to {n} (paper: 0.1M – 10.5M); labels: smooth nonlinear function\n");
-    header(&["dataset", "N", "d", "h(paper)", "lambda", "Acc(paper h)", "h(scaled)", "Acc(scaled h)"]);
+    header(&[
+        "dataset",
+        "N",
+        "d",
+        "h(paper)",
+        "lambda",
+        "Acc(paper h)",
+        "h(scaled)",
+        "Acc(scaled h)",
+    ]);
 
     for name in ["COVTYPE", "SUSY", "MNIST2M", "HIGGS", "MRI", "NORMAL"] {
         let s = standin(name, n, 0xda7a + name.len() as u64);
@@ -53,11 +62,12 @@ fn main() {
         let h_scaled = scaled_bandwidth(s.points.dim(), 0.3);
         for h in [s.h, h_scaled] {
             let kernel = Gaussian::new(h);
-            let skel =
-                SkelConfig::default().with_tol(1e-5).with_max_rank(128).with_neighbors(16);
+            let skel = SkelConfig::default().with_tol(1e-5).with_max_rank(128).with_neighbors(16);
             let solver = SolverConfig::default().with_lambda(s.lambda);
             match KernelRidge::train(&train, y_train, kernel, 128, skel, solver) {
-                Ok((model, _)) => accs.push(format!("{:.0}%", 100.0 * model.accuracy(&test, y_test))),
+                Ok((model, _)) => {
+                    accs.push(format!("{:.0}%", 100.0 * model.accuracy(&test, y_test)))
+                }
                 Err(e) => accs.push(format!("fail({e})")),
             }
         }

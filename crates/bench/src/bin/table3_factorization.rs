@@ -10,7 +10,9 @@
 //! cargo run --release -p kfds-bench --bin table3_factorization [-- --scale 2]
 //! ```
 
-use kfds_bench::{arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed};
+use kfds_bench::{
+    arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed,
+};
 use kfds_core::{factorize, factorize_baseline, SolverConfig};
 
 fn main() {

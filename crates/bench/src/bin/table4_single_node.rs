@@ -11,7 +11,9 @@
 //! cargo run --release -p kfds-bench --bin table4_single_node [-- --scale 2]
 //! ```
 
-use kfds_bench::{arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed};
+use kfds_bench::{
+    arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed,
+};
 use kfds_core::{dist_factorize, factorize, LevelRestrictedDirect, SolverConfig, StorageMode};
 
 fn main() {

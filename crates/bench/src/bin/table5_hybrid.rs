@@ -12,7 +12,9 @@
 //! cargo run --release -p kfds-bench --bin table5_hybrid [-- --scale 2]
 //! ```
 
-use kfds_bench::{arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed};
+use kfds_bench::{
+    arg_f64, build_skeleton_tree, header, rel_err, row, scaled_bandwidth, standin, test_vec, timed,
+};
 use kfds_core::{factorize, HybridSolver, LevelRestrictedDirect, SolverConfig};
 use kfds_krylov::GmresOptions;
 
@@ -23,7 +25,14 @@ fn main() {
     println!("# Table V — hybrid vs direct with level restriction L = {restriction}");
     println!("# N = {n}, adaptive ranks tau = 1e-5, smax = 128\n");
     header(&[
-        "#", "dataset", "method", "ASKIT (s)", "T_f (s)", "T_s (s)", "residual r", "KSP iters",
+        "#",
+        "dataset",
+        "method",
+        "ASKIT (s)",
+        "T_f (s)",
+        "T_s (s)",
+        "residual r",
+        "KSP iters",
         "reduced mem",
     ]);
 

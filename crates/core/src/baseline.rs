@@ -143,8 +143,24 @@ fn pass1_node<K: Kernel>(
                     let (nl, nr) = (pl.nrows(), pr.nrows());
                     let pt = Mat::from_fn(sl + sr, s, |i, j| sk.proj[(j, i)]);
                     let mut p = Mat::zeros(nl + nr, s);
-                    gemm(1.0, pl.rb(), Trans::No, pt.submatrix(0..sl, 0..s), Trans::No, 0.0, p.rb_mut().submatrix_mut(0..nl, 0..s));
-                    gemm(1.0, pr.rb(), Trans::No, pt.submatrix(sl..sl + sr, 0..s), Trans::No, 0.0, p.rb_mut().submatrix_mut(nl..nl + nr, 0..s));
+                    gemm(
+                        1.0,
+                        pl.rb(),
+                        Trans::No,
+                        pt.submatrix(0..sl, 0..s),
+                        Trans::No,
+                        0.0,
+                        p.rb_mut().submatrix_mut(0..nl, 0..s),
+                    );
+                    gemm(
+                        1.0,
+                        pr.rb(),
+                        Trans::No,
+                        pt.submatrix(sl..sl + sr, 0..s),
+                        Trans::No,
+                        0.0,
+                        p.rb_mut().submatrix_mut(nl..nl + nr, 0..s),
+                    );
                     cost.flops += flops::gemm_flops(nl, s, sl) + flops::gemm_flops(nr, s, sr);
                     cost.bytes += (nl + nr) * s * 8;
                     Some(p)

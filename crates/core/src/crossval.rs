@@ -57,8 +57,7 @@ pub fn lambda_sweep<K: Kernel>(
                 let solve_ok = ft.solve_in_place(&mut w).is_ok();
                 let residual = if solve_ok {
                     let applied = hier_matvec(st, kernel, lambda, &w);
-                    let num: f64 =
-                        applied.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let num: f64 = applied.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
                     let den: f64 = y.iter().map(|v| v * v).sum();
                     (num / den.max(1e-300)).sqrt()
                 } else {
@@ -67,11 +66,8 @@ pub fn lambda_sweep<K: Kernel>(
                 let accuracy = validation.map(|(vp, vl)| {
                     let ev = TreecodeEvaluator::new(st, kernel, w.clone(), 0.5);
                     let pred = ev.evaluate_batch(vp);
-                    let correct = pred
-                        .iter()
-                        .zip(vl)
-                        .filter(|(p, l)| (**p >= 0.0) == (**l > 0.0))
-                        .count();
+                    let correct =
+                        pred.iter().zip(vl).filter(|(p, l)| (**p >= 0.0) == (**l > 0.0)).count();
                     correct as f64 / vl.len().max(1) as f64
                 });
                 out.push(LambdaSweepEntry {
@@ -146,20 +142,14 @@ impl<K: Kernel + Clone> KernelRidgeMulti<K> {
         let c = self.w_perm.ncols();
         let mut scores: Vec<Vec<f64>> = Vec::with_capacity(c);
         for k in 0..c {
-            let ev = TreecodeEvaluator::new(
-                &self.st,
-                &self.kernel,
-                self.w_perm.col(k).to_vec(),
-                theta,
-            );
+            let ev =
+                TreecodeEvaluator::new(&self.st, &self.kernel, self.w_perm.col(k).to_vec(), theta);
             scores.push(ev.evaluate_batch(test));
         }
         (0..test.len())
             .map(|i| {
                 (0..c)
-                    .max_by(|&a, &b| {
-                        scores[a][i].partial_cmp(&scores[b][i]).expect("NaN score")
-                    })
+                    .max_by(|&a, &b| scores[a][i].partial_cmp(&scores[b][i]).expect("NaN score"))
                     .expect("at least one class")
             })
             .collect()

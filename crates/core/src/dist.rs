@@ -150,11 +150,8 @@ fn dist_factor_rank<'a, K: Kernel>(
     if lp == 0 {
         return Ok(RankState { subtree_root: my_node, range: my_range, local, levels: Vec::new() });
     }
-    let mut phat_child: Mat = local.factors()[my_node]
-        .p_hat
-        .as_ref()
-        .expect("subtree root P-hat")
-        .clone();
+    let mut phat_child: Mat =
+        local.factors()[my_node].p_hat.as_ref().expect("subtree root P-hat").clone();
     let mut levels = Vec::with_capacity(lp);
 
     for l in (0..lp).rev() {
@@ -195,8 +192,7 @@ fn dist_factor_rank<'a, K: Kernel>(
         // --- Partial coupling blocks over owned points {x}. ---
         // Lower: K_{r̃ {x}} P̂_{{x} l̃} (s_r x s_l); upper: K_{l̃ {x}} P̂_{{x} r̃}.
         let own_cols: Vec<usize> = my_range.clone().collect();
-        let (rows, s_own, s_other) =
-            if lower { (&skel_r, sl, sr) } else { (&skel_l, sr, sl) };
+        let (rows, s_own, s_other) = if lower { (&skel_r, sl, sr) } else { (&skel_l, sr, sl) };
         let mut partial = Mat::zeros(s_other, s_own);
         if s_other > 0 && s_own > 0 {
             sum_fused_multi(
@@ -240,8 +236,24 @@ fn dist_factor_rank<'a, K: Kernel>(
                 let pt_top = pt.submatrix(0..sl, 0..s_node).to_mat();
                 let pt_bot = pt.submatrix(sl..zdim, 0..s_node).to_mat();
                 let mut cmat = Mat::zeros(zdim, s_node);
-                gemm(1.0, b_l.rb(), Trans::No, pt_bot.rb(), Trans::No, 0.0, cmat.rb_mut().submatrix_mut(0..sl, 0..s_node));
-                gemm(1.0, b_r.rb(), Trans::No, pt_top.rb(), Trans::No, 0.0, cmat.rb_mut().submatrix_mut(sl..zdim, 0..s_node));
+                gemm(
+                    1.0,
+                    b_l.rb(),
+                    Trans::No,
+                    pt_bot.rb(),
+                    Trans::No,
+                    0.0,
+                    cmat.rb_mut().submatrix_mut(0..sl, 0..s_node),
+                );
+                gemm(
+                    1.0,
+                    b_r.rb(),
+                    Trans::No,
+                    pt_top.rb(),
+                    Trans::No,
+                    0.0,
+                    cmat.rb_mut().submatrix_mut(sl..zdim, 0..s_node),
+                );
                 lu.solve_mat_inplace(&mut cmat);
                 let mut m_l = pt_top;
                 let mut m_r = pt_bot;

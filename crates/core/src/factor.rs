@@ -20,9 +20,12 @@ use crate::error::SolverError;
 use kfds_askit::SkeletonTree;
 use kfds_kernels::flops;
 use kfds_kernels::{eval_block, eval_symmetric, sum_fused_multi, sum_reference_multi, Kernel};
-use kfds_la::{gemm, Cholesky, Lu, Mat, Trans};
+use kfds_la::{gemm, workspace, Cholesky, Lu, Mat, Trans};
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Per-node outcome of a level-parallel factorization sweep.
+type NodeResult = (usize, Result<(NodeFactors, NodeCost), SolverError>);
 
 /// A factorized leaf diagonal block `λI + K_αα`.
 #[derive(Debug)]
@@ -173,7 +176,7 @@ pub fn factorize<'a, K: Kernel>(
         // Nodes of a level are independent; parallelize across them. Each
         // node only reads children factors from deeper (already final)
         // levels, so we can hand out disjoint &mut via a scatter.
-        let results: Vec<(usize, Result<(NodeFactors, NodeCost), SolverError>)> = level_nodes
+        let results: Vec<NodeResult> = level_nodes
             .par_iter()
             .map(|&i| (i, factor_node(st, kernel, &config, &factors, i)))
             .collect();
@@ -245,7 +248,7 @@ pub(crate) fn factor_subtree<'a, K: Kernel>(
     for level in (0..=tree.depth()).rev() {
         let level_nodes: Vec<usize> =
             by_level[level].iter().copied().filter(|&i| in_factored_region(st, i)).collect();
-        let results: Vec<(usize, Result<(NodeFactors, NodeCost), SolverError>)> = level_nodes
+        let results: Vec<NodeResult> = level_nodes
             .par_iter()
             .map(|&i| (i, factor_node(st, kernel, &config, &factors, i)))
             .collect();
@@ -352,7 +355,8 @@ fn factor_leaf<K: Kernel>(
     let p_hat = match st.skeleton(node) {
         Some(sk) => {
             let s = sk.rank();
-            let mut p = Mat::zeros(m, s);
+            // Pooled: every element is written by the transpose copy below.
+            let mut p = workspace::take_mat_detached(m, s);
             for j in 0..s {
                 for i in 0..m {
                     p[(i, j)] = sk.proj[(j, i)];
@@ -383,6 +387,7 @@ pub(crate) struct ReducedSystem {
 /// Forms and factorizes the reduced system `Z_α` (eq. 8). Shared between
 /// the `O(N log N)` factorization and the `O(N log² N)` baseline — both
 /// construct *identical* reduced systems.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_reduced_system<K: Kernel>(
     st: &SkeletonTree,
     kernel: &K,
@@ -405,8 +410,10 @@ pub(crate) fn build_reduced_system<K: Kernel>(
     let mut cost = NodeCost { min_pivot: f64::INFINITY, ..Default::default() };
 
     // B_l = K_{l̃ r} P̂_{rr̃} (s_l x s_r) and B_r = K_{r̃ l} P̂_{ll̃}.
-    let mut b_l = Mat::zeros(sl, sr);
-    let mut b_r = Mat::zeros(sr, sl);
+    // Pooled: all three storage modes fully overwrite both blocks
+    // (beta = 0 GEMM / `sum_*_multi` overwrite their output).
+    let mut b_l = workspace::take_mat_detached(sl, sr);
+    let mut b_r = workspace::take_mat_detached(sr, sl);
     let mut v_lr = None;
     let mut v_rl = None;
     match config.storage {
@@ -438,7 +445,11 @@ pub(crate) fn build_reduced_system<K: Kernel>(
 
     // Z = I + V W (eq. 8), LU-factorized.
     let zdim = sl + sr;
-    let mut z = Mat::identity(zdim);
+    let mut z = workspace::take_mat_detached(zdim, zdim);
+    z.rb_mut().fill(0.0);
+    for i in 0..zdim {
+        z[(i, i)] = 1.0;
+    }
     for j in 0..sr {
         for i in 0..sl {
             z[(i, sl + j)] = b_l[(i, j)];
@@ -486,27 +497,45 @@ pub(crate) fn factor_internal<K: Kernel>(
     let p_hat = match st.skeleton(node) {
         Some(sk) => {
             let s = sk.rank();
-            // Pt = P_{[l̃r̃]α̃} ((s_l + s_r) x s).
-            let mut pt = Mat::zeros(zdim, s);
+            // Row-halves of Pt = P_{[l̃r̃]α̃}, written straight from the
+            // transposed projection — no (s_l + s_r) x s intermediate.
+            // Pooled: every element is overwritten before use.
+            let mut m_l = workspace::take_mat_detached(sl, s);
+            let mut m_r = workspace::take_mat_detached(sr, s);
             for j in 0..s {
-                for i in 0..zdim {
-                    pt[(i, j)] = sk.proj[(j, i)];
+                for i in 0..sl {
+                    m_l[(i, j)] = sk.proj[(j, i)];
+                }
+                for i in 0..sr {
+                    m_r[(i, j)] = sk.proj[(j, sl + i)];
                 }
             }
-            let pt_top = pt.submatrix(0..sl, 0..s).to_mat();
-            let pt_bot = pt.submatrix(sl..zdim, 0..s).to_mat();
             // C = (Z − I) Pt, via the already-formed off-diagonal blocks.
-            let mut c = Mat::zeros(zdim, s);
-            gemm(1.0, b_l.rb(), Trans::No, pt_bot.rb(), Trans::No, 0.0, c.rb_mut().submatrix_mut(0..sl, 0..s));
-            gemm(1.0, b_r.rb(), Trans::No, pt_top.rb(), Trans::No, 0.0, c.rb_mut().submatrix_mut(sl..zdim, 0..s));
+            let mut c = workspace::take_mat_detached(zdim, s);
+            gemm(
+                1.0,
+                b_l.rb(),
+                Trans::No,
+                m_r.rb(),
+                Trans::No,
+                0.0,
+                c.rb_mut().submatrix_mut(0..sl, 0..s),
+            );
+            gemm(
+                1.0,
+                b_r.rb(),
+                Trans::No,
+                m_l.rb(),
+                Trans::No,
+                0.0,
+                c.rb_mut().submatrix_mut(sl..zdim, 0..s),
+            );
             // Y = Z^{-1} C.
             z_lu.solve_mat_inplace(&mut c);
             cost.flops += flops::gemm_flops(sl, s, sr)
                 + flops::gemm_flops(sr, s, sl)
                 + flops::lu_solve_flops(zdim, s);
             // M_c = Pt_c − Y_c; P̂_α = [P̂_l M_l ; P̂_r M_r].
-            let mut m_l = pt_top;
-            let mut m_r = pt_bot;
             for j in 0..s {
                 for i in 0..sl {
                     m_l[(i, j)] -= c[(i, j)];
@@ -515,9 +544,28 @@ pub(crate) fn factor_internal<K: Kernel>(
                     m_r[(i, j)] -= c[(sl + i, j)];
                 }
             }
-            let mut p = Mat::zeros(nl + nr, s);
-            gemm(1.0, p_hat_l.rb(), Trans::No, m_l.rb(), Trans::No, 0.0, p.rb_mut().submatrix_mut(0..nl, 0..s));
-            gemm(1.0, p_hat_r.rb(), Trans::No, m_r.rb(), Trans::No, 0.0, p.rb_mut().submatrix_mut(nl..nl + nr, 0..s));
+            workspace::recycle_mat(c);
+            let mut p = workspace::take_mat_detached(nl + nr, s);
+            gemm(
+                1.0,
+                p_hat_l.rb(),
+                Trans::No,
+                m_l.rb(),
+                Trans::No,
+                0.0,
+                p.rb_mut().submatrix_mut(0..nl, 0..s),
+            );
+            gemm(
+                1.0,
+                p_hat_r.rb(),
+                Trans::No,
+                m_r.rb(),
+                Trans::No,
+                0.0,
+                p.rb_mut().submatrix_mut(nl..nl + nr, 0..s),
+            );
+            workspace::recycle_mat(m_l);
+            workspace::recycle_mat(m_r);
             cost.flops += flops::gemm_flops(nl, s, sl) + flops::gemm_flops(nr, s, sr);
             cost.bytes += (nl + nr) * s * 8;
             Some(p)
@@ -525,7 +573,13 @@ pub(crate) fn factor_internal<K: Kernel>(
         None => None,
     };
 
-    let (b_l_keep, b_r_keep) = if keep_b { (Some(b_l), Some(b_r)) } else { (None, None) };
+    let (b_l_keep, b_r_keep) = if keep_b {
+        (Some(b_l), Some(b_r))
+    } else {
+        workspace::recycle_mat(b_l);
+        workspace::recycle_mat(b_r);
+        (None, None)
+    };
     Ok((
         NodeFactors {
             z_lu: Some(z_lu),

@@ -28,9 +28,7 @@ impl<K: Kernel> FactorTree<'_, K> {
     /// [`SolverError::NotSkeletonized`] for partial factorizations.
     pub fn log_det(&self) -> Result<f64, SolverError> {
         if !self.is_complete() {
-            return Err(SolverError::NotSkeletonized {
-                node: self.skeleton_tree().tree().root(),
-            });
+            return Err(SolverError::NotSkeletonized { node: self.skeleton_tree().tree().root() });
         }
         let mut acc = 0.0;
         for nf in self.factors() {
@@ -95,9 +93,7 @@ impl<'a, K: Kernel> GaussianProcess<'a, K> {
     /// objective, computable here in `O(N log N)`.
     pub fn log_marginal_likelihood(&self) -> f64 {
         let n = self.ft.skeleton_tree().tree().points().len() as f64;
-        -0.5 * self.y_dot_alpha
-            - 0.5 * self.log_det
-            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+        -0.5 * self.y_dot_alpha - 0.5 * self.log_det - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
     }
 
     /// Posterior mean at the test points (treecode evaluation with
@@ -200,10 +196,7 @@ mod tests {
         let km = dense_system(&st, &kernel, noise2);
         let dense = Lu::factor(km).expect("dense LU").log_abs_det();
         // The factorization's K̃ differs from K by the (tight) tolerance.
-        assert!(
-            (fast - dense).abs() < 1e-3 * dense.abs().max(1.0),
-            "fast {fast} vs dense {dense}"
-        );
+        assert!((fast - dense).abs() < 1e-3 * dense.abs().max(1.0), "fast {fast} vs dense {dense}");
     }
 
     #[test]
@@ -222,9 +215,14 @@ mod tests {
     fn marginal_likelihood_matches_dense() {
         let (st, kernel, y) = fixture();
         let noise2 = 0.05;
-        let gp = GaussianProcess::fit(&st, &kernel, noise2, &st.tree().unpermute_vec(
-            &st.tree().permute_vec(&y), // identity round-trip keeps order explicit
-        ))
+        let gp = GaussianProcess::fit(
+            &st,
+            &kernel,
+            noise2,
+            &st.tree().unpermute_vec(
+                &st.tree().permute_vec(&y), // identity round-trip keeps order explicit
+            ),
+        )
         .expect("fit");
         let lml = gp.log_marginal_likelihood();
         // Dense reference.

@@ -86,8 +86,7 @@ impl<'a, 'f, K: Kernel> LevelRestrictedDirect<'a, 'f, K> {
                     .filter(move |&(iq, _)| iq != jq)
                     .map(|(iq, &phi)| {
                         let skf = st.skeleton(phi).expect("frontier skeleton");
-                        let mut blk =
-                            Mat::zeros(skf.rank(), p_hat.ncols());
+                        let mut blk = Mat::zeros(skf.rank(), p_hat.ncols());
                         if skf.rank() > 0 && p_hat.ncols() > 0 {
                             sum_fused_multi(
                                 kernel,
@@ -111,10 +110,8 @@ impl<'a, 'f, K: Kernel> LevelRestrictedDirect<'a, 'f, K> {
                 }
             }
         }
-        let z_lu = Lu::factor(z).map_err(|e| SolverError::Factorization {
-            node: tree.root(),
-            source: e,
-        })?;
+        let z_lu = Lu::factor(z)
+            .map_err(|e| SolverError::Factorization { node: tree.root(), source: e })?;
         // Stored mode: materialize the frontier V rows K_{φ̃, X} so solves
         // use GEMV instead of fused kernel evaluation (the paper's
         // O(2^L s N) storage term).

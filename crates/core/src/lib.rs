@@ -39,7 +39,9 @@ pub mod taskparallel;
 
 pub use baseline::factorize_baseline;
 pub use config::{FactorStats, LeafFactorization, SolverConfig, StorageMode, WStorage};
-pub use crossval::{grid_search_gaussian, lambda_sweep, train_best_gaussian, KernelRidgeMulti, LambdaSweepEntry};
+pub use crossval::{
+    grid_search_gaussian, lambda_sweep, train_best_gaussian, KernelRidgeMulti, LambdaSweepEntry,
+};
 pub use dist::{dist_factorize, DistSolver};
 pub use error::SolverError;
 pub use factor::{factorize, FactorTree, LeafFactor, NodeFactors};

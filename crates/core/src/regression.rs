@@ -84,12 +84,8 @@ impl<K: Kernel + Clone> KernelRidge<K> {
     /// (multipole acceptance parameter `theta ∈ [0, 1)`; `theta = 0`
     /// degenerates to the exact evaluation).
     pub fn predict_fast(&self, test: &PointSet, theta: f64) -> Vec<f64> {
-        let ev = kfds_askit::TreecodeEvaluator::new(
-            &self.st,
-            &self.kernel,
-            self.w_perm.clone(),
-            theta,
-        );
+        let ev =
+            kfds_askit::TreecodeEvaluator::new(&self.st, &self.kernel, self.w_perm.clone(), theta);
         ev.evaluate_batch(test)
     }
 
@@ -130,8 +126,7 @@ impl<K: Kernel + Clone> KernelRidge<K> {
             return 1.0;
         }
         let pred = self.classify(test);
-        let correct =
-            pred.iter().zip(labels).filter(|(p, y)| (**p > 0.0) == (**y > 0.0)).count();
+        let correct = pred.iter().zip(labels).filter(|(p, y)| (**p > 0.0) == (**y > 0.0)).count();
         correct as f64 / labels.len() as f64
     }
 

@@ -18,7 +18,7 @@ use kfds_askit::SkeletonTree;
 use kfds_kernels::{sum_fused, sum_fused_multi, sum_reference, sum_reference_multi, Kernel};
 use kfds_la::blas1::axpy;
 use kfds_la::blas2::{gemv, gemv_t};
-use kfds_la::{gemm, Mat, Trans};
+use kfds_la::{gemm, workspace, Mat, Trans};
 
 /// Borrowed solve context: a skeleton tree plus (possibly in-progress)
 /// node factors.
@@ -109,8 +109,9 @@ impl<K: Kernel> SolveCtx<'_, K> {
             return; // vanishing off-diagonal coupling
         }
         let z_lu = self.factors[node].z_lu.as_ref().expect("reduced system missing");
-        // y = V u = [K_{l̃ r} u_r ; K_{r̃ l} u_l].
-        let mut y = vec![0.0; sl + sr];
+        // y = V u = [K_{l̃ r} u_r ; K_{r̃ l} u_l]. Pooled scratch: every
+        // element is overwritten below (gemv / summation with beta = 0).
+        let mut y = workspace::take(sl + sr);
         {
             let pts = tree.points();
             let (ul, ur) = u.split_at(nl);
@@ -152,6 +153,7 @@ impl<K: Kernel> SolveCtx<'_, K> {
         } else {
             let v = self.apply_p_hat(node, z);
             axpy(-1.0, &v, out);
+            workspace::give_vec(v);
         }
     }
 
@@ -160,37 +162,40 @@ impl<K: Kernel> SolveCtx<'_, K> {
     /// `P̂_α z = W_α t`, `t = y − Z_α^{-1}(Z_α − I) y`, `y = P_{[l̃r̃]α̃} z`.
     pub(crate) fn apply_p_hat(&self, node: usize, z: &[f64]) -> Vec<f64> {
         if let Some(p) = self.factors[node].p_hat.as_ref() {
-            let mut out = vec![0.0; p.nrows()];
+            // Pooled storage, detached because the result escapes; the
+            // beta = 0 gemv overwrites every element.
+            let mut out = workspace::take(p.nrows()).detach();
             gemv(1.0, p.rb(), z, 0.0, &mut out);
             return out;
         }
         let tree = self.st.tree();
-        let (l, r) = tree
-            .node(node)
-            .children
-            .expect("recompute-W: internal node without stored P-hat");
+        let (l, r) =
+            tree.node(node).children.expect("recompute-W: internal node without stored P-hat");
         let sk = self.st.skeleton(node).expect("apply_p_hat on unskeletonized node");
         let (sl, sr) = (
             self.st.skeleton(l).expect("child skeleton").rank(),
             self.st.skeleton(r).expect("child skeleton").rank(),
         );
         // y = P_{[l̃r̃]α̃} z  (proj is s x (sl+sr); we need proj^T z).
-        let mut y = vec![0.0; sl + sr];
+        // Pooled scratch, fully overwritten by the beta = 0 products.
+        let mut y = workspace::take(sl + sr);
         gemv_t(1.0, sk.proj.rb(), z, 0.0, &mut y);
         // c = Z^{-1} (Z − I) y, with (Z−I)y = [B_l y_bot; B_r y_top].
         let b_l = self.factors[node].b_l.as_ref().expect("recompute-W needs B blocks");
         let b_r = self.factors[node].b_r.as_ref().expect("recompute-W needs B blocks");
         let z_lu = self.factors[node].z_lu.as_ref().expect("reduced system missing");
-        let mut c = vec![0.0; sl + sr];
+        let mut c = workspace::take(sl + sr);
         gemv(1.0, b_l.rb(), &y[sl..], 0.0, &mut c[..sl]);
         gemv(1.0, b_r.rb(), &y[..sl], 0.0, &mut c[sl..]);
         z_lu.solve_inplace(&mut c);
-        for (yi, ci) in y.iter_mut().zip(&c) {
+        for (yi, ci) in y.iter_mut().zip(c.iter()) {
             *yi -= ci;
         }
         // W t = [P̂_l t_top ; P̂_r t_bot], recursively.
         let mut out = self.apply_p_hat(l, &y[..sl]);
-        out.extend(self.apply_p_hat(r, &y[sl..]));
+        let bot = self.apply_p_hat(r, &y[sl..]);
+        out.extend_from_slice(&bot);
+        workspace::give_vec(bot);
         out
     }
 
@@ -199,38 +204,63 @@ impl<K: Kernel> SolveCtx<'_, K> {
     /// dense factor is required (level-restricted direct assembly).
     pub(crate) fn apply_p_hat_mat(&self, node: usize, zmat: &Mat) -> Mat {
         if let Some(p) = self.factors[node].p_hat.as_ref() {
-            let mut out = Mat::zeros(p.nrows(), zmat.ncols());
+            let mut out = workspace::take_mat_detached(p.nrows(), zmat.ncols());
             gemm(1.0, p.rb(), Trans::No, zmat.rb(), Trans::No, 0.0, out.rb_mut());
             return out;
         }
         let tree = self.st.tree();
-        let (l, r) = tree
-            .node(node)
-            .children
-            .expect("recompute-W: internal node without stored P-hat");
+        let (l, r) =
+            tree.node(node).children.expect("recompute-W: internal node without stored P-hat");
         let sk = self.st.skeleton(node).expect("apply_p_hat on unskeletonized node");
         let (sl, sr) = (
             self.st.skeleton(l).expect("child skeleton").rank(),
             self.st.skeleton(r).expect("child skeleton").rank(),
         );
         let nrhs = zmat.ncols();
-        let mut y = Mat::zeros(sl + sr, nrhs);
+        // Pooled temporaries: y and c are fully overwritten by the beta = 0
+        // products below and recycled before returning.
+        let mut y = workspace::take_mat_detached(sl + sr, nrhs);
         gemm(1.0, sk.proj.rb(), Trans::Yes, zmat.rb(), Trans::No, 0.0, y.rb_mut());
         let b_l = self.factors[node].b_l.as_ref().expect("recompute-W needs B blocks");
         let b_r = self.factors[node].b_r.as_ref().expect("recompute-W needs B blocks");
         let z_lu = self.factors[node].z_lu.as_ref().expect("reduced system missing");
-        let mut c = Mat::zeros(sl + sr, nrhs);
-        gemm(1.0, b_l.rb(), Trans::No, y.submatrix(sl..sl + sr, 0..nrhs), Trans::No, 0.0, c.rb_mut().submatrix_mut(0..sl, 0..nrhs));
-        gemm(1.0, b_r.rb(), Trans::No, y.submatrix(0..sl, 0..nrhs), Trans::No, 0.0, c.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs));
+        let mut c = workspace::take_mat_detached(sl + sr, nrhs);
+        gemm(
+            1.0,
+            b_l.rb(),
+            Trans::No,
+            y.submatrix(sl..sl + sr, 0..nrhs),
+            Trans::No,
+            0.0,
+            c.rb_mut().submatrix_mut(0..sl, 0..nrhs),
+        );
+        gemm(
+            1.0,
+            b_r.rb(),
+            Trans::No,
+            y.submatrix(0..sl, 0..nrhs),
+            Trans::No,
+            0.0,
+            c.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs),
+        );
         z_lu.solve_mat_inplace(&mut c);
         for j in 0..nrhs {
             for i in 0..sl + sr {
                 y[(i, j)] -= c[(i, j)];
             }
         }
-        let top = self.apply_p_hat_mat(l, &y.submatrix(0..sl, 0..nrhs).to_mat());
-        let bot = self.apply_p_hat_mat(r, &y.submatrix(sl..sl + sr, 0..nrhs).to_mat());
-        top.vcat(&bot)
+        workspace::recycle_mat(c);
+        let ytop = workspace::mat_from_view(y.submatrix(0..sl, 0..nrhs));
+        let ybot = workspace::mat_from_view(y.submatrix(sl..sl + sr, 0..nrhs));
+        workspace::recycle_mat(y);
+        let top = self.apply_p_hat_mat(l, &ytop);
+        let bot = self.apply_p_hat_mat(r, &ybot);
+        workspace::recycle_mat(ytop);
+        workspace::recycle_mat(ybot);
+        let out = top.vcat(&bot);
+        workspace::recycle_mat(top);
+        workspace::recycle_mat(bot);
+        out
     }
 
     /// Multi-RHS variant of [`solve_node`](Self::solve_node); `u` is
@@ -253,37 +283,86 @@ impl<K: Kernel> SolveCtx<'_, K> {
         let (sl, sr) = (skl.rank(), skr.rank());
 
         // D^{-1} on both halves; row-halves of a column-major matrix are
-        // strided, so work on owned copies.
-        let mut utop = u.submatrix(0..nl, 0..nrhs).to_mat();
-        let mut ubot = u.submatrix(nl..nl + nr, 0..nrhs).to_mat();
+        // strided, so work on owned (pooled) copies.
+        let mut utop = workspace::mat_from_view(u.submatrix(0..nl, 0..nrhs));
+        let mut ubot = workspace::mat_from_view(u.submatrix(nl..nl + nr, 0..nrhs));
         rayon::join(|| self.solve_node_mat(l, &mut utop), || self.solve_node_mat(r, &mut ubot));
 
         if sl + sr > 0 {
             let z_lu = self.factors[node].z_lu.as_ref().expect("reduced system missing");
-            let mut y = Mat::zeros(sl + sr, nrhs);
+            let mut y = workspace::take_mat_detached(sl + sr, nrhs);
             match self.config.storage {
                 StorageMode::StoredGemv => {
                     let v_lr = self.factors[node].v_lr.as_ref().expect("stored V missing");
                     let v_rl = self.factors[node].v_rl.as_ref().expect("stored V missing");
-                    gemm(1.0, v_lr.rb(), Trans::No, ubot.rb(), Trans::No, 0.0, y.rb_mut().submatrix_mut(0..sl, 0..nrhs));
-                    gemm(1.0, v_rl.rb(), Trans::No, utop.rb(), Trans::No, 0.0, y.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs));
+                    gemm(
+                        1.0,
+                        v_lr.rb(),
+                        Trans::No,
+                        ubot.rb(),
+                        Trans::No,
+                        0.0,
+                        y.rb_mut().submatrix_mut(0..sl, 0..nrhs),
+                    );
+                    gemm(
+                        1.0,
+                        v_rl.rb(),
+                        Trans::No,
+                        utop.rb(),
+                        Trans::No,
+                        0.0,
+                        y.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs),
+                    );
                 }
                 StorageMode::RecomputeGemm => {
                     let rc: Vec<usize> = tree.node(r).range().collect();
                     let lc: Vec<usize> = tree.node(l).range().collect();
-                    sum_reference_multi(self.kernel, tree.points(), &skl.skeleton, &rc, ubot.rb(), y.rb_mut().submatrix_mut(0..sl, 0..nrhs));
-                    sum_reference_multi(self.kernel, tree.points(), &skr.skeleton, &lc, utop.rb(), y.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs));
+                    sum_reference_multi(
+                        self.kernel,
+                        tree.points(),
+                        &skl.skeleton,
+                        &rc,
+                        ubot.rb(),
+                        y.rb_mut().submatrix_mut(0..sl, 0..nrhs),
+                    );
+                    sum_reference_multi(
+                        self.kernel,
+                        tree.points(),
+                        &skr.skeleton,
+                        &lc,
+                        utop.rb(),
+                        y.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs),
+                    );
                 }
                 StorageMode::Gsks => {
                     let rc: Vec<usize> = tree.node(r).range().collect();
                     let lc: Vec<usize> = tree.node(l).range().collect();
-                    sum_fused_multi(self.kernel, tree.points(), &skl.skeleton, &rc, ubot.rb(), y.rb_mut().submatrix_mut(0..sl, 0..nrhs));
-                    sum_fused_multi(self.kernel, tree.points(), &skr.skeleton, &lc, utop.rb(), y.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs));
+                    sum_fused_multi(
+                        self.kernel,
+                        tree.points(),
+                        &skl.skeleton,
+                        &rc,
+                        ubot.rb(),
+                        y.rb_mut().submatrix_mut(0..sl, 0..nrhs),
+                    );
+                    sum_fused_multi(
+                        self.kernel,
+                        tree.points(),
+                        &skr.skeleton,
+                        &lc,
+                        utop.rb(),
+                        y.rb_mut().submatrix_mut(sl..sl + sr, 0..nrhs),
+                    );
                 }
             }
             z_lu.solve_mat_inplace(&mut y);
-            let corr_top = self.apply_p_hat_mat(l, &y.submatrix(0..sl, 0..nrhs).to_mat());
-            let corr_bot = self.apply_p_hat_mat(r, &y.submatrix(sl..sl + sr, 0..nrhs).to_mat());
+            let ytop = workspace::mat_from_view(y.submatrix(0..sl, 0..nrhs));
+            let ybot = workspace::mat_from_view(y.submatrix(sl..sl + sr, 0..nrhs));
+            workspace::recycle_mat(y);
+            let corr_top = self.apply_p_hat_mat(l, &ytop);
+            let corr_bot = self.apply_p_hat_mat(r, &ybot);
+            workspace::recycle_mat(ytop);
+            workspace::recycle_mat(ybot);
             for j in 0..nrhs {
                 for i in 0..nl {
                     utop[(i, j)] -= corr_top[(i, j)];
@@ -292,10 +371,14 @@ impl<K: Kernel> SolveCtx<'_, K> {
                     ubot[(i, j)] -= corr_bot[(i, j)];
                 }
             }
+            workspace::recycle_mat(corr_top);
+            workspace::recycle_mat(corr_bot);
         }
         for j in 0..nrhs {
             u.col_mut(j)[..nl].copy_from_slice(utop.col(j));
             u.col_mut(j)[nl..].copy_from_slice(ubot.col(j));
         }
+        workspace::recycle_mat(utop);
+        workspace::recycle_mat(ubot);
     }
 }

@@ -58,11 +58,7 @@ pub fn estimate_condition<K: Kernel>(ft: &FactorTree<'_, K>, iters: usize) -> Co
 
 /// Estimates `σ₁(K̃)` alone (no regularizer) — used to pick `λ` from a
 /// target condition number as in Figure 5 (`λ = c σ₁`).
-pub fn estimate_sigma1<K: Kernel>(
-    st: &kfds_askit::SkeletonTree,
-    kernel: &K,
-    iters: usize,
-) -> f64 {
+pub fn estimate_sigma1<K: Kernel>(st: &kfds_askit::SkeletonTree, kernel: &K, iters: usize) -> f64 {
     let n = st.tree().points().len();
     sigma_max(
         n,

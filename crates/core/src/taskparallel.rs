@@ -146,12 +146,7 @@ mod tests {
         let mut x2 = b.clone();
         level.solve_in_place(&mut x1).expect("solve");
         task.solve_in_place(&mut x2).expect("solve");
-        let err: f64 = x1
-            .iter()
-            .zip(&x2)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 = x1.iter().zip(&x2).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(err < 1e-10, "task-parallel factors differ: {err}");
         // Identical flop counts: it is the same algorithm, rescheduled.
         assert!((level.stats().flops - task.stats().flops).abs() < 1e-6 * level.stats().flops);
@@ -176,8 +171,7 @@ mod tests {
         assert!(!task.is_complete());
         let hy = crate::HybridSolver::new(&task).expect("hybrid over task factors");
         let b: Vec<f64> = (0..512).map(|i| ((i % 7) as f64) - 3.0).collect();
-        let opts =
-            kfds_krylov::GmresOptions { tol: 1e-11, max_iters: 300, ..Default::default() };
+        let opts = kfds_krylov::GmresOptions { tol: 1e-11, max_iters: 300, ..Default::default() };
         let out = hy.solve(&b, &opts).expect("solve");
         let applied = kfds_askit::hier_matvec(&st, &kernel, 0.5, &out.x);
         let num: f64 = applied.iter().zip(&b).map(|(a, c)| (a - c) * (a - c)).sum();

@@ -1,0 +1,61 @@
+//! Steady-state allocation behavior of factorize + solve.
+//!
+//! The workspace pool exists so the second and later factorize/solve of a
+//! same-shaped workload recycle warm buffers instead of allocating. This
+//! test asserts that property end to end through the real solver stack:
+//! after a warm-up pass, a full factorize + solve must be overwhelmingly
+//! pool hits.
+
+use kfds_askit::{skeletonize, SkelConfig};
+use kfds_core::{factorize, SolverConfig};
+use kfds_kernels::Gaussian;
+use kfds_la::workspace;
+use kfds_tree::datasets::normal_embedded;
+use kfds_tree::BallTree;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_factor_solve_is_mostly_pool_hits() {
+    let n = 1024;
+    let pts = normal_embedded(n, 3, 8, 0.05, 11);
+    let tree = BallTree::build(&pts, 64);
+    let kernel = Gaussian::new(1.0);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-5).with_max_rank(64).with_neighbors(8).with_max_level(1),
+    );
+    let cfg = SolverConfig::default().with_lambda(0.5);
+
+    // Warm-up: first pass fills the per-thread free lists.
+    let ft = factorize(&st, &kernel, cfg).expect("warm-up factorize");
+    let mut x = rand_vec(n, 3);
+    ft.solve_in_place(&mut x).expect("warm-up solve");
+    drop(ft);
+
+    let (h0, m0) = workspace::stats();
+    let ft = factorize(&st, &kernel, cfg).expect("steady-state factorize");
+    let mut x = rand_vec(n, 5);
+    ft.solve_in_place(&mut x).expect("steady-state solve");
+    let (h1, m1) = workspace::stats();
+
+    let (hits, misses) = (h1 - h0, m1 - m0);
+    assert!(hits > 0, "pool saw no traffic — hot paths are not pooled");
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    // Not every buffer recycles perfectly (factors that outlive the pass,
+    // buffers dropped on a different worker thread), but the steady state
+    // must be dominated by reuse.
+    assert!(
+        hit_rate >= 0.80,
+        "steady-state pool hit rate {hit_rate:.3} ({hits} hits / {misses} misses) below 0.80"
+    );
+}

@@ -14,6 +14,7 @@
 //! algorithmic structure (fusion, packing, tiling) is identical.
 
 use crate::function::Kernel;
+use kfds_la::workspace;
 use kfds_la::{MatMut, MatRef};
 use kfds_tree::PointSet;
 use rayon::prelude::*;
@@ -24,24 +25,31 @@ const MR: usize = 4;
 const NR: usize = 4;
 
 /// Packed, zero-padded coordinates + norms for one side of a summation.
+/// Storage comes from the workspace pool and returns to it on drop.
 struct Packed {
     /// `padded x d`, point-major (point `i` = `coords[i*d .. (i+1)*d]`).
-    coords: Vec<f64>,
+    coords: workspace::WsVec,
     /// Squared norms, zero-padded.
-    norms: Vec<f64>,
+    norms: workspace::WsVec,
     len: usize,
 }
 
 fn pack(pts: &PointSet, idx: &[usize], pad_to: usize) -> Packed {
     let d = pts.dim();
     let padded = idx.len().next_multiple_of(pad_to);
-    let mut coords = vec![0.0; padded * d];
-    let mut norms = vec![0.0; padded];
+    // Pooled buffers arrive with stale contents; the loop overwrites the
+    // live region and only the padding tail needs explicit zeroing (padded
+    // tile entries must evaluate the kernel at the origin, not at garbage
+    // coordinates, so their weighted contribution of zero stays finite).
+    let mut coords = workspace::take(padded * d);
+    let mut norms = workspace::take(padded);
     for (i, &p) in idx.iter().enumerate() {
         let src = pts.point(p);
         coords[i * d..(i + 1) * d].copy_from_slice(src);
         norms[i] = kfds_la::blas1::dot(src, src);
     }
+    coords[idx.len() * d..].fill(0.0);
+    norms[idx.len()..].fill(0.0);
     Packed { coords, norms, len: idx.len() }
 }
 
@@ -71,8 +79,9 @@ pub fn sum_fused<K: Kernel>(
     let rp = pack(pts, rows, MR);
     let cp = pack(pts, cols, NR);
     // Zero-padded weights so padded source columns contribute nothing.
-    let mut upad = vec![0.0; cp.norms.len()];
+    let mut upad = workspace::take(cp.norms.len());
     upad[..u.len()].copy_from_slice(u);
+    upad[u.len()..].fill(0.0);
 
     let n_tiles_c = cp.norms.len() / NR;
     // Parallel over disjoint MR-row chunks of the output.
@@ -128,8 +137,9 @@ pub fn sum_fused_multi<K: Kernel>(
     let cp = pack(pts, cols, NR);
     let n_tiles_c = cp.norms.len() / NR;
 
-    // Row-major accumulation buffer (m x nrhs) so row tiles are chunkable.
-    let mut wbuf = vec![0.0f64; m * nrhs];
+    // Row-major accumulation buffer (m x nrhs) so row tiles are chunkable;
+    // zeroed because the tile loop accumulates into it.
+    let mut wbuf = workspace::take_zeroed(m * nrhs);
     wbuf.par_chunks_mut(MR * nrhs).enumerate().for_each(|(rt, wchunk)| {
         let r0 = rt * MR;
         let rows_here = MR.min(m - r0);
@@ -146,13 +156,13 @@ pub fn sum_fused_multi<K: Kernel>(
                     kv[c] = k.eval_parts(tile[r][c], nx, cp.norms[c0 + c]);
                 }
                 let wrow = &mut wchunk[r * nrhs..(r + 1) * nrhs];
-                for t in 0..nrhs {
+                for (t, wt) in wrow.iter_mut().enumerate() {
                     let ucol = u.col(t);
                     let mut s = 0.0;
                     for c in 0..cols_here {
                         s += kv[c] * ucol[c0 + c];
                     }
-                    wrow[t] += s;
+                    *wt += s;
                 }
             }
         }

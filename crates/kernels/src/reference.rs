@@ -9,13 +9,17 @@
 //! fused engine removes.
 
 use crate::function::Kernel;
-use kfds_la::{gemm, Mat, MatMut, MatRef, Trans};
+use kfds_la::{gemm, workspace, Mat, MatMut, MatRef, Trans};
 use kfds_tree::PointSet;
 
 /// Gathers `idx`-selected points as the columns of a `d x idx.len()` matrix.
+///
+/// The returned matrix is backed by a pooled buffer; callers on hot paths
+/// should hand it back with [`workspace::recycle_mat`] when done.
 pub fn gather_coords(pts: &PointSet, idx: &[usize]) -> Mat {
     let d = pts.dim();
-    let mut out = Mat::zeros(d, idx.len());
+    // Pooled: every column is fully overwritten below.
+    let mut out = workspace::take_mat_detached(d, idx.len());
     for (j, &i) in idx.iter().enumerate() {
         out.col_mut(j).copy_from_slice(pts.point(i));
     }
@@ -28,11 +32,17 @@ pub fn kernel_block_gemm<K: Kernel>(k: &K, pts: &PointSet, rows: &[usize], cols:
     let xc = gather_coords(pts, cols);
     let m = rows.len();
     let n = cols.len();
-    // Gram block G = Xr^T Xc (rank-d update).
-    let mut g = Mat::zeros(m, n);
+    // Gram block G = Xr^T Xc (rank-d update). Pooled: beta = 0 overwrites.
+    let mut g = workspace::take_mat_detached(m, n);
     gemm(1.0, xr.rb(), Trans::Yes, xc.rb(), Trans::No, 0.0, g.rb_mut());
-    let row_norms: Vec<f64> = (0..m).map(|i| sq_norm(xr.col(i))).collect();
-    let col_norms: Vec<f64> = (0..n).map(|j| sq_norm(xc.col(j))).collect();
+    let mut row_norms = workspace::take(m);
+    let mut col_norms = workspace::take(n);
+    for i in 0..m {
+        row_norms[i] = sq_norm(xr.col(i));
+    }
+    for j in 0..n {
+        col_norms[j] = sq_norm(xc.col(j));
+    }
     // Elementwise kernel transform (the VEXP pass).
     for j in 0..n {
         let nyj = col_norms[j];
@@ -41,6 +51,8 @@ pub fn kernel_block_gemm<K: Kernel>(k: &K, pts: &PointSet, rows: &[usize], cols:
             *gij = k.eval_parts(*gij, row_norms[i], nyj);
         }
     }
+    workspace::recycle_mat(xr);
+    workspace::recycle_mat(xc);
     g
 }
 
@@ -60,6 +72,7 @@ pub fn sum_reference<K: Kernel>(
     assert_eq!(w.len(), rows.len(), "sum_reference: output length mismatch");
     let kb = kernel_block_gemm(k, pts, rows, cols);
     kfds_la::blas2::gemv(1.0, kb.rb(), u, 0.0, w);
+    workspace::recycle_mat(kb);
 }
 
 /// Two-pass multi-RHS summation: `W = K[rows, cols] * U` (overwrites `W`).
@@ -79,6 +92,7 @@ pub fn sum_reference_multi<K: Kernel>(
     assert_eq!(u.ncols(), w.ncols(), "sum_reference_multi: RHS count mismatch");
     let kb = kernel_block_gemm(k, pts, rows, cols);
     gemm(1.0, kb.rb(), Trans::No, u, Trans::No, 0.0, w);
+    workspace::recycle_mat(kb);
 }
 
 #[inline]
@@ -93,7 +107,8 @@ mod tests {
     use crate::function::Gaussian;
 
     fn pts(n: usize, d: usize) -> PointSet {
-        let data: Vec<f64> = (0..n * d).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
+        let data: Vec<f64> =
+            (0..n * d).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
         PointSet::from_col_major(d, data)
     }
 

@@ -1,11 +1,110 @@
 //! Property-based tests for the kernel functions and summation engines.
 
 use kfds_kernels::{
-    eval_block, kernel_block_gemm, sum_fused, sum_reference, Gaussian, Kernel, Laplacian,
-    Matern32,
+    eval_block, kernel_block_gemm, sum_fused, sum_fused_multi, sum_reference, Gaussian, Kernel,
+    Laplacian, Matern32,
 };
+use kfds_la::workspace;
 use kfds_tree::PointSet;
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global workspace-pool switch.
+static POOL_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// NaN-poisons a spread of pool size classes so stale-data reads surface.
+fn poison_pool() {
+    for log2 in [5usize, 8, 10, 12, 14] {
+        let mut w = workspace::take(1 << log2);
+        w.fill(f64::NAN);
+    }
+}
+
+fn det_points(n: usize, d: usize, seed: u64) -> PointSet {
+    let data: Vec<f64> = (0..n * d)
+        .map(|i| {
+            (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f64) / 250.0 - 2.0
+        })
+        .collect();
+    PointSet::from_col_major(d, data)
+}
+
+/// GSKS summation with the pool off, then on (poisoned), must be bitwise
+/// identical — the packed-pad zeroing has to mask every stale element.
+fn assert_gsks_pool_invariant(n: usize, d: usize, split: usize, nrhs: usize, seed: u64) {
+    let pts = det_points(n, d, seed);
+    let k = Gaussian::new(1.1);
+    let rows: Vec<usize> = (0..split).collect();
+    let cols: Vec<usize> = (split..n).collect();
+    let u: Vec<f64> = (0..cols.len()).map(|i| (i as f64 * 0.37 + seed as f64).sin()).collect();
+    let umat = kfds_la::Mat::from_fn(cols.len(), nrhs, |i, j| ((i * 3 + j) as f64 * 0.29).cos());
+
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    workspace::set_pool_enabled(false);
+    let mut w_ref = vec![0.0; rows.len()];
+    sum_fused(&k, &pts, &rows, &cols, &u, &mut w_ref);
+    let mut wm_ref = kfds_la::Mat::zeros(rows.len(), nrhs);
+    sum_fused_multi(&k, &pts, &rows, &cols, umat.rb(), wm_ref.rb_mut());
+
+    workspace::set_pool_enabled(true);
+    poison_pool();
+    let mut w_pool = vec![0.0; rows.len()];
+    sum_fused(&k, &pts, &rows, &cols, &u, &mut w_pool);
+    let mut wm_pool = kfds_la::Mat::zeros(rows.len(), nrhs);
+    sum_fused_multi(&k, &pts, &rows, &cols, umat.rb(), wm_pool.rb_mut());
+
+    for (i, (a, b)) in w_ref.iter().zip(&w_pool).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "single-RHS row {i}: pooled {b} vs unpooled {a}");
+    }
+    for j in 0..nrhs {
+        for i in 0..rows.len() {
+            assert_eq!(
+                wm_ref[(i, j)].to_bits(),
+                wm_pool[(i, j)].to_bits(),
+                "multi-RHS ({i},{j}): pooled {} vs unpooled {}",
+                wm_pool[(i, j)],
+                wm_ref[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_gsks_bitwise_identical_fixed_shapes() {
+    // Shapes straddling the GSKS MR/NR = 4 tile edges, including a
+    // single-target row and a single-source column.
+    for &(n, d, split, nrhs) in
+        &[(9usize, 3usize, 1usize, 1usize), (10, 2, 9, 2), (33, 5, 13, 3), (64, 4, 32, 1)]
+    {
+        assert_gsks_pool_invariant(n, d, split, nrhs, 0xfeed + n as u64);
+    }
+}
+
+#[test]
+fn pooled_gsks_successive_shapes_do_not_alias() {
+    // Back-to-back different shapes reuse pooled pads; the zeroed padding
+    // tails must isolate each call (checked against the reference engine).
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    workspace::set_pool_enabled(true);
+    poison_pool();
+    for &(n, d, split) in &[(40usize, 6usize, 7usize), (12, 2, 5), (29, 8, 20)] {
+        let pts = det_points(n, d, 77);
+        let k = Laplacian::new(0.8);
+        let rows: Vec<usize> = (0..split).collect();
+        let cols: Vec<usize> = (split..n).collect();
+        let u: Vec<f64> = (0..cols.len()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut w_fused = vec![0.0; rows.len()];
+        let mut w_ref = vec![0.0; rows.len()];
+        sum_fused(&k, &pts, &rows, &cols, &u, &mut w_fused);
+        sum_reference(&k, &pts, &rows, &cols, &u, &mut w_ref);
+        for (i, (a, b)) in w_ref.iter().zip(&w_fused).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10 * (1.0 + a.abs()),
+                "shape ({n},{d},{split}) row {i}: {b} vs {a}"
+            );
+        }
+    }
+}
 
 fn points_strategy(max_n: usize, max_d: usize) -> impl Strategy<Value = PointSet> {
     (2..=max_n, 1..=max_d).prop_flat_map(|(n, d)| {
@@ -67,6 +166,12 @@ proptest! {
                 prop_assert!((blk1[(i, j)] - blk2[(i, j)]).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn pooled_gsks_bitwise_identical_random(n in 4usize..40, d in 1usize..6, nrhs in 1usize..4, seed in 0u64..500) {
+        let split = (n / 2).max(1);
+        assert_gsks_pool_invariant(n, d, split, nrhs, seed);
     }
 
     #[test]

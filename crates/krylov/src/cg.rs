@@ -34,7 +34,13 @@ pub fn cg(op: &dyn LinOp, b: &[f64], opts: &CgOptions) -> SolveResult {
     let start = Instant::now();
     let bnorm = nrm2(b);
     if bnorm == 0.0 {
-        return SolveResult { x: vec![0.0; n], converged: true, iters: 0, residual: 0.0, trace: vec![] };
+        return SolveResult {
+            x: vec![0.0; n],
+            converged: true,
+            iters: 0,
+            residual: 0.0,
+            trace: vec![],
+        };
     }
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();

@@ -71,7 +71,13 @@ pub fn gmres(op: &dyn LinOp, b: &[f64], x0: Option<&[f64]>, opts: &GmresOptions)
         None => vec![0.0; n],
     };
     if bnorm == 0.0 {
-        return SolveResult { x: vec![0.0; n], converged: true, iters: 0, residual: 0.0, trace: vec![] };
+        return SolveResult {
+            x: vec![0.0; n],
+            converged: true,
+            iters: 0,
+            residual: 0.0,
+            trace: vec![],
+        };
     }
     let restart = opts.restart.max(1).min(n.max(1));
     let mut trace = Vec::new();
@@ -88,7 +94,11 @@ pub fn gmres(op: &dyn LinOp, b: &[f64], x0: Option<&[f64]>, opts: &GmresOptions)
         let beta = nrm2(&r);
         rel = beta / bnorm;
         if total_iters == 0 {
-            trace.push(TraceEntry { iter: 0, residual: rel, seconds: start.elapsed().as_secs_f64() });
+            trace.push(TraceEntry {
+                iter: 0,
+                residual: rel,
+                seconds: start.elapsed().as_secs_f64(),
+            });
         }
         if rel <= opts.tol || total_iters >= opts.max_iters {
             break;
@@ -174,14 +184,7 @@ pub fn gmres(op: &dyn LinOp, b: &[f64], x0: Option<&[f64]>, opts: &GmresOptions)
 
 /// Back-substitutes the triangularized Hessenberg system and accumulates
 /// the correction into `x`.
-fn update_solution(
-    x: &mut [f64],
-    v: &[Vec<f64>],
-    h: &[f64],
-    g: &[f64],
-    k: usize,
-    restart: usize,
-) {
+fn update_solution(x: &mut [f64], v: &[Vec<f64>], h: &[f64], g: &[f64], k: usize, restart: usize) {
     if k == 0 {
         return;
     }
@@ -280,7 +283,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero() {
         let (op, _, _) = spd_system(8, 13);
-        let res = gmres(&op, &vec![0.0; 8], None, &GmresOptions::default());
+        let res = gmres(&op, &[0.0; 8], None, &GmresOptions::default());
         assert!(res.converged);
         assert!(res.x.iter().all(|&v| v == 0.0));
     }

@@ -6,9 +6,9 @@
 //! behind Figure 5.
 
 pub mod cg;
-pub mod precond;
 pub mod gmres;
 pub mod operator;
+pub mod precond;
 
 pub use cg::{cg, CgOptions};
 pub use gmres::{gmres, GmresOptions, SolveResult, TraceEntry};

@@ -109,8 +109,7 @@ mod tests {
         let op = DenseOp::new(a);
         let prec = FnPrecond::new(move |x: &mut [f64]| lu.solve_inplace(x));
         let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
-        let res =
-            gmres_right_preconditioned(&op, &prec, &b, &GmresOptions::default());
+        let res = gmres_right_preconditioned(&op, &prec, &b, &GmresOptions::default());
         assert!(res.converged);
         assert!(res.iters <= 2, "iters = {}", res.iters);
     }

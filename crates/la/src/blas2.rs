@@ -21,8 +21,8 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     if alpha == 0.0 {
         return;
     }
-    for j in 0..a.ncols() {
-        let xj = alpha * x[j];
+    for (j, &xv) in x.iter().enumerate() {
+        let xj = alpha * xv;
         if xj != 0.0 {
             axpy(xj, a.col(j), y);
         }
@@ -38,9 +38,9 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.nrows(), x.len(), "gemv_t: A.nrows != x.len");
     assert_eq!(a.ncols(), y.len(), "gemv_t: A.ncols != y.len");
-    for j in 0..a.ncols() {
+    for (j, yj) in y.iter_mut().enumerate() {
         let d = if alpha == 0.0 { 0.0 } else { alpha * dot(a.col(j), x) };
-        y[j] = if beta == 0.0 { d } else { beta * y[j] + d };
+        *yj = if beta == 0.0 { d } else { beta * *yj + d };
     }
 }
 
@@ -54,8 +54,8 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
     if alpha == 0.0 {
         return;
     }
-    for j in 0..a.ncols() {
-        let s = alpha * y[j];
+    for (j, &yv) in y.iter().enumerate() {
+        let s = alpha * yv;
         if s != 0.0 {
             axpy(s, x, a.col_mut(j));
         }
@@ -68,9 +68,7 @@ mod tests {
     use crate::mat::Mat;
 
     fn naive_gemv(a: &Mat, x: &[f64]) -> Vec<f64> {
-        (0..a.nrows())
-            .map(|i| (0..a.ncols()).map(|j| a[(i, j)] * x[j]).sum())
-            .collect()
+        (0..a.nrows()).map(|i| (0..a.ncols()).map(|j| a[(i, j)] * x[j]).sum()).collect()
     }
 
     #[test]

@@ -206,7 +206,7 @@ mod tests {
     fn perm_is_permutation() {
         let a = low_rank(15, 12, 4, 1e-13, 5);
         let f = ColPivQr::factor_truncated(a, 1e-9, usize::MAX);
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for &p in f.perm() {
             assert!(!seen[p]);
             seen[p] = true;

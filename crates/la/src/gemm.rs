@@ -25,8 +25,31 @@ const MC: usize = 256;
 const KC: usize = 256;
 /// Column-panel width for parallel splitting.
 const NC_PAR: usize = 512;
+/// Minimum row count before a tall-skinny product splits over rows.
+const MC_PAR: usize = 2 * MC;
+
+/// Cumulative column- and row-panel parallel splits, for tests asserting
+/// the parallelization policy (tall-skinny products split over rows; GEMMs
+/// issued from inside an already-parallel rayon scope stay serial).
+static COL_SPLITS: AtomicUsize = AtomicUsize::new(0);
+static ROW_SPLITS: AtomicUsize = AtomicUsize::new(0);
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `(column_splits, row_splits)` performed since process start.
+#[doc(hidden)]
+pub fn par_split_counts() -> (usize, usize) {
+    (COL_SPLITS.load(Ordering::Relaxed), ROW_SPLITS.load(Ordering::Relaxed))
+}
 
 /// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// The parallelization decision is made once per top-level call: a GEMM
+/// issued from inside an already-parallel rayon scope (a pool worker, i.e.
+/// `rayon::current_thread_index()` is `Some`) runs serially, because the
+/// outer loop already owns the cores; a GEMM issued from outside the pool
+/// recursively bisects `C` — over columns for wide products, over
+/// MC-aligned row panels for tall-skinny ones (`n <= NC_PAR`).
 ///
 /// # Panics
 /// Panics on dimension mismatch between `op(A)`, `op(B)` and `C`.
@@ -44,14 +67,17 @@ pub fn gemm(
     assert_eq!(ka, kb, "gemm: inner dimension mismatch");
     assert_eq!(c.nrows(), m, "gemm: C row mismatch");
     assert_eq!(c.ncols(), n, "gemm: C col mismatch");
-    gemm_parallel(alpha, a, ta, b, tb, beta, c, ka);
+    let parallel = rayon::current_num_threads() > 1 && rayon::current_thread_index().is_none();
+    gemm_parallel(alpha, a, ta, b, tb, beta, c, ka, parallel);
 }
 
 /// Convenience wrapper: returns `A * B` as a new matrix.
+///
+/// The result buffer comes from the workspace pool without zero-filling
+/// (the `beta = 0` path of the blocked kernel overwrites it), saving both
+/// an allocation and a redundant memset per call.
 pub fn matmul(a: &crate::mat::Mat, b: &crate::mat::Mat) -> crate::mat::Mat {
-    let mut c = crate::mat::Mat::zeros(a.nrows(), b.ncols());
-    gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 0.0, c.rb_mut());
-    c
+    matmul_op(a, Trans::No, b, Trans::No)
 }
 
 /// Convenience wrapper: returns `op(A) * op(B)` as a new matrix.
@@ -63,7 +89,8 @@ pub fn matmul_op(
 ) -> crate::mat::Mat {
     let (m, _) = op_shape(a.rb(), ta);
     let (_, n) = op_shape(b.rb(), tb);
-    let mut c = crate::mat::Mat::zeros(m, n);
+    let buf = crate::workspace::take(m * n).detach();
+    let mut c = crate::mat::Mat::from_col_major(m, n, buf);
     gemm(1.0, a.rb(), ta, b.rb(), tb, 0.0, c.rb_mut());
     c
 }
@@ -83,9 +110,18 @@ fn op_get(a: MatRef<'_>, t: Trans, i: usize, j: usize) -> f64 {
     }
 }
 
-/// Splits `C` (and the matching columns of `op(B)`) into column panels and
-/// multiplies them in parallel; each panel is handled by the serial blocked
-/// kernel. Panels are disjoint so this is race-free by construction.
+/// Recursively bisects `C` into disjoint panels multiplied in parallel;
+/// each leaf panel is handled by the serial blocked kernel. Wide products
+/// (`n > NC_PAR`) split over NR-aligned column panels (with the matching
+/// columns of `op(B)`); tall-skinny products (`n <= NC_PAR`, `m >= MC_PAR`)
+/// split over MC-aligned row panels (with the matching rows of `op(A)`),
+/// which is the shape the skeletonized sample blocks and telescoped
+/// right-hand sides produce. Panels are disjoint — `split_at_col` /
+/// `split_at_row` — so this is race-free by construction.
+///
+/// `parallel` is decided once at the top-level [`gemm`] entry (nested
+/// GEMMs stay serial) and inherited by the recursive calls issued from
+/// inside `rayon::join`, so the bisection itself still fans out.
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel(
     alpha: f64,
@@ -96,10 +132,13 @@ fn gemm_parallel(
     beta: f64,
     c: MatMut<'_>,
     k: usize,
+    parallel: bool,
 ) {
+    let m = c.nrows();
     let n = c.ncols();
-    if n > NC_PAR && rayon::current_num_threads() > 1 {
-        let half = (n / 2 + NR - 1) / NR * NR;
+    if parallel && n > NC_PAR {
+        COL_SPLITS.fetch_add(1, Ordering::Relaxed);
+        let half = (n / 2).div_ceil(NR) * NR;
         let half = half.min(n);
         let (cl, cr) = c.split_at_col(half);
         let (bl, br) = match tb {
@@ -107,8 +146,22 @@ fn gemm_parallel(
             Trans::Yes => (b.submatrix(0..half, 0..k), b.submatrix(half..n, 0..k)),
         };
         rayon::join(
-            || gemm_parallel(alpha, a, ta, bl, tb, beta, cl, k),
-            || gemm_parallel(alpha, a, ta, br, tb, beta, cr, k),
+            || gemm_parallel(alpha, a, ta, bl, tb, beta, cl, k, parallel),
+            || gemm_parallel(alpha, a, ta, br, tb, beta, cr, k, parallel),
+        );
+    } else if parallel && m >= MC_PAR {
+        ROW_SPLITS.fetch_add(1, Ordering::Relaxed);
+        // MC-aligned midpoint: both halves stay multiples of the cache
+        // block except possibly the last, mirroring the serial ic loop.
+        let half = (m / 2).next_multiple_of(MC).min(m - 1);
+        let (ct, cb) = c.split_at_row(half);
+        let (at, ab) = match ta {
+            Trans::No => (a.submatrix(0..half, 0..k), a.submatrix(half..m, 0..k)),
+            Trans::Yes => (a.submatrix(0..k, 0..half), a.submatrix(0..k, half..m)),
+        };
+        rayon::join(
+            || gemm_parallel(alpha, at, ta, b, tb, beta, ct, k, parallel),
+            || gemm_parallel(alpha, ab, ta, b, tb, beta, cb, k, parallel),
         );
     } else {
         gemm_blocked(alpha, a, ta, b, tb, beta, c, k);
@@ -143,8 +196,11 @@ fn gemm_blocked(
         return;
     }
 
-    let mut apack = vec![0.0f64; MC.min(m).next_multiple_of(MR) * KC.min(k)];
-    let mut bpack = vec![0.0f64; KC.min(k) * n.next_multiple_of(NR)];
+    // Pooled packing panels: pack_a / pack_b overwrite every element they
+    // expose to the macro kernel (including zero padding), so the stale
+    // contents of a recycled buffer are never read.
+    let mut apack = crate::workspace::take(MC.min(m).next_multiple_of(MR) * KC.min(k));
+    let mut bpack = crate::workspace::take(KC.min(k) * n.next_multiple_of(NR));
 
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
@@ -174,11 +230,8 @@ fn pack_a(a: MatRef<'_>, ta: Trans, ic: usize, mc: usize, pc: usize, kc: usize, 
         } else {
             for kk in 0..kc {
                 for r in 0..MR {
-                    out[base + kk * MR + r] = if r < rows {
-                        op_get(a, ta, ic + r0 + r, pc + kk)
-                    } else {
-                        0.0
-                    };
+                    out[base + kk * MR + r] =
+                        if r < rows { op_get(a, ta, ic + r0 + r, pc + kk) } else { 0.0 };
                 }
             }
         }
@@ -194,11 +247,8 @@ fn pack_b(b: MatRef<'_>, tb: Trans, pc: usize, kc: usize, jc: usize, nc: usize, 
         let base = p * NR * kc;
         for kk in 0..kc {
             for cl in 0..NR {
-                out[base + kk * NR + cl] = if cl < cols {
-                    op_get(b, tb, pc + kk, jc + c0 + cl)
-                } else {
-                    0.0
-                };
+                out[base + kk * NR + cl] =
+                    if cl < cols { op_get(b, tb, pc + kk, jc + c0 + cl) } else { 0.0 };
             }
         }
     }
@@ -226,7 +276,9 @@ fn macro_kernel(
             let irows = MR.min(mc - i0);
             let apanel = &apack[ipn * MR * kc..(ipn * MR * kc) + MR * kc];
             let acc = micro_kernel(apanel, bpanel, kc);
-            // Accumulate the (possibly partial) tile into C.
+            // Accumulate the (possibly partial) tile into C. Plain index
+            // loops here: `jl`/`il` address both the tile and C.
+            #[allow(clippy::needless_range_loop)]
             for jl in 0..jcols {
                 let ccol = c.col_mut(j0 + jl);
                 for il in 0..irows {
@@ -352,6 +404,50 @@ mod tests {
         let mut c = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
         gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 1.0, c.rb_mut());
         assert_eq!(c[(2, 1)], 3.0);
+    }
+
+    #[test]
+    fn parallel_split_policy() {
+        // Both halves of the policy observed through the split counters, in
+        // one test because the counters are process-global.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        pool.install(|| {
+            // 1) A tall-skinny product issued from outside the rayon pool
+            //    splits over MC-aligned row panels.
+            let m = 2 * MC_PAR;
+            let a = rand_mat(m, 8, 41);
+            let b = rand_mat(8, 6, 42);
+            let (_, rows0) = par_split_counts();
+            let mut c = Mat::zeros(m, 6);
+            gemm(1.0, a.rb(), Trans::No, b.rb(), Trans::No, 0.0, c.rb_mut());
+            let (_, rows1) = par_split_counts();
+            assert!(rows1 > rows0, "tall-skinny gemm should split over rows");
+            check_close(&c, &naive(&a, Trans::No, &b, Trans::No), 1e-10);
+
+            // 2) The same product issued from inside an already-parallel
+            //    rayon scope stays serial: no new splits of either kind.
+            use rayon::prelude::*;
+            let (cols2, rows2) = par_split_counts();
+            let outs: Vec<Mat> = (0..4usize)
+                .into_par_iter()
+                .map(|s| {
+                    let a = rand_mat(m, 8, 50 + s as u64);
+                    let b = rand_mat(8, 6, 60 + s as u64);
+                    matmul(&a, &b)
+                })
+                .collect();
+            let (cols3, rows3) = par_split_counts();
+            assert_eq!(
+                (cols3, rows3),
+                (cols2, rows2),
+                "gemm inside a par_iter scope must stay serial"
+            );
+            for (s, out) in outs.iter().enumerate() {
+                let a = rand_mat(m, 8, 50 + s as u64);
+                let b = rand_mat(8, 6, 60 + s as u64);
+                check_close(out, &naive(&a, Trans::No, &b, Trans::No), 1e-10);
+            }
+        });
     }
 
     #[test]

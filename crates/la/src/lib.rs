@@ -31,6 +31,7 @@ pub mod mat;
 pub mod power;
 pub mod qr;
 pub mod tri;
+pub mod workspace;
 
 pub use chol::Cholesky;
 pub use cpqr::ColPivQr;

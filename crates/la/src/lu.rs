@@ -136,8 +136,7 @@ impl Lu {
             // U12 and A22 are different row ranges of the same (strided)
             // columns, which a column-stride view cannot split disjointly;
             // copy the small nb x (n-k1) U12 strip out instead.
-            let u12_copy =
-                crate::mat::MatRef::from_parts(&right[k0..], nb, n - k1, n).to_mat();
+            let u12_copy = crate::mat::MatRef::from_parts(&right[k0..], nb, n - k1, n).to_mat();
             let a22 = MatMut::from_parts(&mut right[k1..], n - k1, n - k1, n);
             crate::gemm::gemm(
                 -1.0,

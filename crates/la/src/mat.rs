@@ -44,6 +44,13 @@ impl Mat {
         Mat { nrows, ncols, data }
     }
 
+    /// Consumes the matrix, returning its column-major storage. The inverse
+    /// of [`Mat::from_col_major`]; lets temporaries hand their buffers back
+    /// to [`crate::workspace`].
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// The `n x n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Mat::zeros(n, n);
@@ -106,12 +113,8 @@ impl Mat {
     /// Mutable borrowing view of the whole matrix.
     #[inline]
     pub fn rb_mut(&mut self) -> MatMut<'_> {
-        MatMut {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            col_stride: self.nrows,
-            data: &mut self.data,
-        }
+        let (nrows, ncols) = (self.nrows, self.ncols);
+        MatMut::from_parts(&mut self.data, nrows, ncols, nrows)
     }
 
     /// View of rows `rows` and columns `cols`.
@@ -320,12 +323,29 @@ impl<'a> MatRef<'a> {
 }
 
 /// Mutable column-major matrix view with a column stride.
+///
+/// Internally a raw pointer rather than a `&mut [f64]` slice: row-wise
+/// splits ([`MatMut::split_at_row`]) produce two views whose storage spans
+/// interleave even though their element sets are disjoint, which two `&mut`
+/// slices cannot express without aliasing UB. All element accesses are
+/// bounds-checked against the logical shape (debug assertions on the hot
+/// accessors, hard assertions on the splitting constructors), and every
+/// view originates from a uniquely borrowed `&'a mut [f64]`, so the usual
+/// borrow rules still guarantee exclusivity of the underlying storage.
 pub struct MatMut<'a> {
-    data: &'a mut [f64],
+    ptr: *mut f64,
     nrows: usize,
     ncols: usize,
     col_stride: usize,
+    marker: std::marker::PhantomData<&'a mut [f64]>,
 }
+
+// SAFETY: a MatMut is semantically an exclusive borrow of f64 storage
+// (PhantomData<&'a mut [f64]>), and f64 is Send + Sync. Disjoint views
+// produced by the splitting methods never overlap element-wise, so moving
+// them to other threads (rayon::join over row/column panels) is sound.
+unsafe impl Send for MatMut<'_> {}
+unsafe impl Sync for MatMut<'_> {}
 
 impl<'a> MatMut<'a> {
     /// Builds a mutable view from raw column-major parts.
@@ -337,7 +357,13 @@ impl<'a> MatMut<'a> {
         if ncols > 0 {
             assert!(data.len() >= (ncols - 1) * col_stride + nrows, "view out of bounds");
         }
-        MatMut { data, nrows, ncols, col_stride }
+        MatMut {
+            ptr: data.as_mut_ptr(),
+            nrows,
+            ncols,
+            col_stride,
+            marker: std::marker::PhantomData,
+        }
     }
 
     #[inline]
@@ -355,55 +381,114 @@ impl<'a> MatMut<'a> {
         self.col_stride
     }
 
+    /// Number of storage elements spanned by this view (0 when degenerate).
+    #[inline]
+    fn span(&self) -> usize {
+        if self.nrows == 0 || self.ncols == 0 {
+            0
+        } else {
+            (self.ncols - 1) * self.col_stride + self.nrows
+        }
+    }
+
     /// Element access.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.nrows && j < self.ncols);
-        self.data[i + j * self.col_stride]
+        assert!(i < self.nrows && j < self.ncols);
+        // SAFETY: in bounds per the shape assertion; the view owns exclusive
+        // access to its elements for 'a.
+        unsafe { *self.ptr.add(i + j * self.col_stride) }
     }
 
     /// Sets element `(i, j)`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        debug_assert!(i < self.nrows && j < self.ncols);
-        self.data[i + j * self.col_stride] = v;
+        assert!(i < self.nrows && j < self.ncols);
+        // SAFETY: as in `get`.
+        unsafe { *self.ptr.add(i + j * self.col_stride) = v }
     }
 
     /// Column `j` as a mutable contiguous slice of length `nrows`.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
-        debug_assert!(j < self.ncols);
-        &mut self.data[j * self.col_stride..j * self.col_stride + self.nrows]
+        assert!(j < self.ncols);
+        // SAFETY: a column is nrows contiguous elements inside the view's
+        // span; exclusivity follows from &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * self.col_stride), self.nrows) }
     }
 
     /// Immutable snapshot of this view.
     #[inline]
     pub fn rb(&self) -> MatRef<'_> {
-        MatRef { data: self.data, nrows: self.nrows, ncols: self.ncols, col_stride: self.col_stride }
+        // SAFETY: the span is inside the storage this view exclusively
+        // borrows; the returned lifetime is tied to &self.
+        let data = unsafe { std::slice::from_raw_parts(self.ptr, self.span()) };
+        MatRef { data, nrows: self.nrows, ncols: self.ncols, col_stride: self.col_stride }
     }
 
     /// Reborrows the view mutably (shorter lifetime).
     #[inline]
     pub fn rb_mut(&mut self) -> MatMut<'_> {
         MatMut {
-            data: self.data,
+            ptr: self.ptr,
             nrows: self.nrows,
             ncols: self.ncols,
             col_stride: self.col_stride,
+            marker: std::marker::PhantomData,
         }
     }
 
     /// Splits into the columns `[0, j)` and `[j, ncols)`.
     pub fn split_at_col(self, j: usize) -> (MatMut<'a>, MatMut<'a>) {
         assert!(j <= self.ncols);
-        let (left, right) = self.data.split_at_mut(j * self.col_stride);
+        // SAFETY: the halves cover disjoint column ranges of a view we hold
+        // exclusively, so neither can reach the other's elements.
+        let right_ptr = unsafe { self.ptr.add(j * self.col_stride) };
         (
-            MatMut { data: left, nrows: self.nrows, ncols: j, col_stride: self.col_stride },
             MatMut {
-                data: right,
+                ptr: self.ptr,
+                nrows: self.nrows,
+                ncols: j,
+                col_stride: self.col_stride,
+                marker: std::marker::PhantomData,
+            },
+            MatMut {
+                ptr: right_ptr,
                 nrows: self.nrows,
                 ncols: self.ncols - j,
                 col_stride: self.col_stride,
+                marker: std::marker::PhantomData,
+            },
+        )
+    }
+
+    /// Splits into the rows `[0, i)` and `[i, nrows)`.
+    ///
+    /// The two views' storage spans interleave (each column contributes to
+    /// both), but their element sets are disjoint, so they may be mutated
+    /// concurrently — this is what the row-parallel GEMM path relies on for
+    /// tall-skinny products.
+    pub fn split_at_row(self, i: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(i <= self.nrows);
+        // SAFETY: same storage, disjoint row ranges; every accessor bounds
+        // element coordinates by the view's own (nrows, ncols), so the top
+        // view never touches rows >= i and the bottom never touches rows
+        // < i of the parent.
+        let bot_ptr = unsafe { self.ptr.add(i) };
+        (
+            MatMut {
+                ptr: self.ptr,
+                nrows: i,
+                ncols: self.ncols,
+                col_stride: self.col_stride,
+                marker: std::marker::PhantomData,
+            },
+            MatMut {
+                ptr: bot_ptr,
+                nrows: self.nrows - i,
+                ncols: self.ncols,
+                col_stride: self.col_stride,
+                marker: std::marker::PhantomData,
             },
         )
     }
@@ -415,15 +500,19 @@ impl<'a> MatMut<'a> {
         cols: std::ops::Range<usize>,
     ) -> MatMut<'a> {
         assert!(rows.end <= self.nrows && cols.end <= self.ncols, "submatrix out of bounds");
-        let offset = rows.start + cols.start * self.col_stride;
+        assert!(rows.start <= rows.end && cols.start <= cols.end);
         let nrows = rows.end - rows.start;
         let ncols = cols.end - cols.start;
-        let (start, end) = if ncols == 0 || nrows == 0 {
-            (0, 0)
+        // Degenerate views keep the base pointer: the offset could point
+        // past the end of the parent's storage.
+        let ptr = if nrows == 0 || ncols == 0 {
+            self.ptr
         } else {
-            (offset, offset + (ncols - 1) * self.col_stride + nrows)
+            // SAFETY: the first element of the sub-view is inside the
+            // parent's span per the shape assertions above.
+            unsafe { self.ptr.add(rows.start + cols.start * self.col_stride) }
         };
-        MatMut { data: &mut self.data[start..end], nrows, ncols, col_stride: self.col_stride }
+        MatMut { ptr, nrows, ncols, col_stride: self.col_stride, marker: std::marker::PhantomData }
     }
 
     /// Fills the view with `v`.
@@ -529,6 +618,49 @@ mod tests {
         r.fill(2.0);
         assert_eq!(m.col(1), &[1.0; 3]);
         assert_eq!(m.col(2), &[2.0; 3]);
+    }
+
+    #[test]
+    fn split_at_row_disjoint() {
+        let mut m = Mat::zeros(4, 3);
+        let (mut top, mut bot) = m.rb_mut().split_at_row(1);
+        assert_eq!((top.nrows(), top.ncols()), (1, 3));
+        assert_eq!((bot.nrows(), bot.ncols()), (3, 3));
+        top.fill(1.0);
+        bot.fill(2.0);
+        for j in 0..3 {
+            assert_eq!(m[(0, j)], 1.0);
+            for i in 1..4 {
+                assert_eq!(m[(i, j)], 2.0);
+            }
+        }
+        // Degenerate splits at both ends.
+        let (e0, rest) = m.rb_mut().split_at_row(0);
+        assert_eq!(e0.nrows(), 0);
+        assert_eq!(rest.nrows(), 4);
+        let (all, e1) = m.rb_mut().split_at_row(4);
+        assert_eq!(all.nrows(), 4);
+        assert_eq!(e1.nrows(), 0);
+    }
+
+    #[test]
+    fn split_at_row_threads_write_concurrently() {
+        let mut m = Mat::zeros(64, 5);
+        let (mut top, mut bot) = m.rb_mut().split_at_row(32);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for j in 0..5 {
+                    top.col_mut(j).fill(7.0);
+                }
+            });
+            s.spawn(move || {
+                for j in 0..5 {
+                    bot.col_mut(j).fill(9.0);
+                }
+            });
+        });
+        assert_eq!(m[(31, 4)], 7.0);
+        assert_eq!(m[(32, 0)], 9.0);
     }
 
     #[test]

@@ -1,7 +1,92 @@
 //! Property-based tests for the dense linear algebra kernels.
 
-use kfds_la::{gemm, interp_decomp, ColPivQr, Lu, Mat, Trans};
+use kfds_la::{gemm, interp_decomp, workspace, ColPivQr, Lu, Mat, Trans};
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global workspace-pool switch so they
+/// cannot observe each other's toggles.
+static POOL_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// Fills the thread-local pool with NaN-poisoned buffers of assorted
+/// classes: any hot path that reads stale pooled data instead of fully
+/// overwriting it will surface as a NaN mismatch.
+fn poison_pool() {
+    for log2 in [5usize, 8, 10, 12, 14, 16] {
+        let mut w = workspace::take(1 << log2);
+        w.fill(f64::NAN);
+    }
+}
+
+/// `alpha*op(A)op(B) + beta*C` twice — pool off then pool on (with a
+/// poisoned pool) — asserting bitwise-identical results.
+fn assert_gemm_pool_invariant(a: &Mat, ta: Trans, b: &Mat, tb: Trans, m: usize, n: usize) {
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    workspace::set_pool_enabled(false);
+    let mut c_ref = Mat::zeros(m, n);
+    gemm(1.5, a.rb(), ta, b.rb(), tb, 0.0, c_ref.rb_mut());
+    workspace::set_pool_enabled(true);
+    poison_pool();
+    let mut c_pool = Mat::zeros(m, n);
+    gemm(1.5, a.rb(), ta, b.rb(), tb, 0.0, c_pool.rb_mut());
+    for j in 0..n {
+        for i in 0..m {
+            assert_eq!(
+                c_ref[(i, j)].to_bits(),
+                c_pool[(i, j)].to_bits(),
+                "({i},{j}): pooled {} vs unpooled {}",
+                c_pool[(i, j)],
+                c_ref[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_gemm_bitwise_identical_degenerate_shapes() {
+    // m = 0, n = 1, k = 1 and friends: the pool must be a pure pass-through
+    // even when requests round up to the minimum size class.
+    for &(m, k, n) in &[(0usize, 4usize, 3usize), (1, 1, 1), (5, 1, 7), (1, 9, 1), (3, 2, 0)] {
+        let a = Mat::from_fn(m, k, |i, j| ((i * 7 + j * 3) as f64 * 0.21).sin());
+        let b = Mat::from_fn(k, n, |i, j| ((i * 5 + j * 11) as f64 * 0.13).cos());
+        assert_gemm_pool_invariant(&a, Trans::No, &b, Trans::No, m, n);
+    }
+}
+
+#[test]
+fn pooled_gemm_bitwise_identical_tall_skinny() {
+    // The row-split parallel path with pooled packing panels must agree
+    // bitwise with the unpooled run.
+    let (m, k, n) = (4096usize, 16usize, 8usize);
+    let a = Mat::from_fn(m, k, |i, j| ((i * 13 + j) as f64 * 0.003).sin());
+    let b = Mat::from_fn(k, n, |i, j| ((i + j * 17) as f64 * 0.07).cos());
+    assert_gemm_pool_invariant(&a, Trans::No, &b, Trans::No, m, n);
+}
+
+#[test]
+fn successive_pooled_shapes_do_not_alias() {
+    // Different shapes back-to-back reuse the same size classes; each call
+    // must behave as if its buffers were fresh.
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    workspace::set_pool_enabled(true);
+    poison_pool();
+    let shapes = [(30usize, 7usize, 12usize), (4, 40, 2), (128, 3, 64), (7, 7, 7)];
+    for &(m, k, n) in &shapes {
+        let a = Mat::from_fn(m, k, |i, j| 1.0 + ((i + 2 * j) as f64 * 0.11).sin());
+        let b = Mat::from_fn(k, n, |i, j| 1.0 + ((3 * i + j) as f64 * 0.05).cos());
+        let c = kfds_la::matmul(&a, &b);
+        for j in 0..n {
+            for i in 0..m {
+                let want: f64 = (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum();
+                assert!(
+                    (c[(i, j)] - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                    "shape ({m},{k},{n}) at ({i},{j}): {} vs {want}",
+                    c[(i, j)]
+                );
+            }
+        }
+    }
+}
 
 fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
@@ -95,6 +180,16 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pooled_gemm_bitwise_identical_random_shapes(m in 0usize..24, k in 1usize..12, n in 1usize..12, seed in 0u64..1000) {
+        let a = Mat::from_fn(m, k, |i, j| (((i * 7 + j * 3) as u64 + seed) as f64 * 0.17).sin());
+        let b = Mat::from_fn(k, n, |i, j| (((i * 5 + j * 11) as u64 + seed) as f64 * 0.09).cos());
+        assert_gemm_pool_invariant(&a, Trans::No, &b, Trans::No, m, n);
+        // Transposed operands exercise the other packing loops.
+        let at = a.transpose();
+        assert_gemm_pool_invariant(&at, Trans::Yes, &b, Trans::No, m, n);
     }
 
     #[test]

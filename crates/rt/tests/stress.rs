@@ -29,8 +29,7 @@ fn reduction_tree_matches_sequential() {
         let mine: Vec<f64> = (0..16).map(|i| (c.rank() * 16 + i) as f64).collect();
         c.allreduce_sum(&mine)
     });
-    let expected: Vec<f64> =
-        (0..16).map(|i| (0..p).map(|r| (r * 16 + i) as f64).sum()).collect();
+    let expected: Vec<f64> = (0..16).map(|i| (0..p).map(|r| (r * 16 + i) as f64).sum()).collect();
     for r in out {
         assert_eq!(r, expected);
     }

@@ -114,7 +114,7 @@ impl BallTree {
         let builder = Builder { points, leaf_size: m, rule };
         let tree_box = builder.split(&mut idx);
         let mut nodes = Vec::new();
-        flatten(tree_box, 0, None, &mut nodes);
+        flatten(*tree_box, 0, None, &mut nodes);
 
         // Fix up sibling links now that all indices are known.
         for i in 0..nodes.len() {
@@ -264,9 +264,8 @@ impl Builder<'_> {
         let x2 = self.points.point(p2);
         let dir: Vec<f64> = x1.iter().zip(x2).map(|(a, b)| b - a).collect();
 
-        let proj = |i: usize| -> f64 {
-            self.points.point(i).iter().zip(&dir).map(|(x, d)| x * d).sum()
-        };
+        let proj =
+            |i: usize| -> f64 { self.points.point(i).iter().zip(&dir).map(|(x, d)| x * d).sum() };
         let half = count / 2;
         // Equal split at the median projection (paper: children hold an
         // equal number of points). Degenerate direction (all points equal)
@@ -348,7 +347,7 @@ impl Builder<'_> {
 
 /// Flattens the boxed tree into preorder `Vec<Node>` storage, assigning
 /// contiguous point ranges.
-fn flatten(boxed: Box<BoxNode>, begin: usize, parent: Option<usize>, out: &mut Vec<Node>) -> usize {
+fn flatten(boxed: BoxNode, begin: usize, parent: Option<usize>, out: &mut Vec<Node>) -> usize {
     let my_index = out.len();
     let level = parent.map(|p| out[p].level + 1).unwrap_or(0);
     out.push(Node {
@@ -363,8 +362,8 @@ fn flatten(boxed: Box<BoxNode>, begin: usize, parent: Option<usize>, out: &mut V
     });
     if let Some((l, r)) = boxed.children {
         let lcount = l.count;
-        let li = flatten(l, begin, Some(my_index), out);
-        let ri = flatten(r, begin + lcount, Some(my_index), out);
+        let li = flatten(*l, begin, Some(my_index), out);
+        let ri = flatten(*r, begin + lcount, Some(my_index), out);
         out[my_index].children = Some((li, ri));
     }
     my_index
@@ -407,7 +406,7 @@ mod tests {
     fn perm_is_bijective_and_points_match() {
         let p = grid_points(100, 4);
         let t = BallTree::build(&p, 8);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &o in t.perm() {
             assert!(!seen[o]);
             seen[o] = true;

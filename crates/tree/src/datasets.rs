@@ -235,9 +235,9 @@ mod tests {
         // check the mean radius differs between classes.
         let (p, y) = two_class_annulus(500, 3, 13);
         let (mut rp, mut np_, mut rm, mut nm) = (0.0, 0, 0.0, 0);
-        for i in 0..500 {
+        for (i, yi) in y.iter().enumerate() {
             let r = p.point(i).iter().map(|v| v * v).sum::<f64>().sqrt();
-            if y[i] > 0.0 {
+            if *yi > 0.0 {
                 rp += r;
                 np_ += 1;
             } else {

@@ -114,17 +114,14 @@ pub fn knn_all(tree: &BallTree, k: usize) -> NeighborLists {
     let mut idx = vec![0u32; n * k];
     let mut dist = vec![0.0f64; n * k];
 
-    idx.par_chunks_mut(k)
-        .zip(dist.par_chunks_mut(k))
-        .enumerate()
-        .for_each(|(q, (irow, drow))| {
-            let mut best = KBest::new(k);
-            search(tree, tree.root(), q, &mut best);
-            for (j, (d, i)) in best.into_sorted().into_iter().enumerate() {
-                irow[j] = i;
-                drow[j] = d;
-            }
-        });
+    idx.par_chunks_mut(k).zip(dist.par_chunks_mut(k)).enumerate().for_each(|(q, (irow, drow))| {
+        let mut best = KBest::new(k);
+        search(tree, tree.root(), q, &mut best);
+        for (j, (d, i)) in best.into_sorted().into_iter().enumerate() {
+            irow[j] = i;
+            drow[j] = d;
+        }
+    });
 
     NeighborLists { k, idx, dist }
 }
@@ -229,11 +226,8 @@ pub fn knn_approximate(tree: &BallTree, k: usize, n_trees: usize, seed: u64) -> 
 
     let mut idx_out = vec![0u32; n * k];
     let mut dist_out = vec![0.0f64; n * k];
-    idx_out
-        .par_chunks_mut(k)
-        .zip(dist_out.par_chunks_mut(k))
-        .enumerate()
-        .for_each(|(q, (irow, drow))| {
+    idx_out.par_chunks_mut(k).zip(dist_out.par_chunks_mut(k)).enumerate().for_each(
+        |(q, (irow, drow))| {
             let mut best = KBest::new(k);
             let mut seen: Vec<u32> = Vec::with_capacity(n_trees * bucket);
             for t in 0..n_trees {
@@ -256,7 +250,8 @@ pub fn knn_approximate(tree: &BallTree, k: usize, n_trees: usize, seed: u64) -> 
                 irow[j] = fallback;
                 drow[j] = pts.sq_dist(q, fallback as usize);
             }
-        });
+        },
+    );
 
     NeighborLists { k, idx: idx_out, dist: dist_out }
 }

@@ -67,7 +67,10 @@ fn main() {
     );
     match best {
         Some((h, lambda, acc)) => {
-            println!("best: h = {h}, lambda = {lambda:.0e}, validation accuracy {:.1}%", 100.0 * acc);
+            println!(
+                "best: h = {h}, lambda = {lambda:.0e}, validation accuracy {:.1}%",
+                100.0 * acc
+            );
             assert!(acc > 0.9);
         }
         None => println!("no stable configuration found"),

@@ -10,8 +10,8 @@
 //! cargo run --release --example gaussian_process
 //! ```
 
-use kernel_fds::prelude::*;
 use kernel_fds::la::Lu;
+use kernel_fds::prelude::*;
 
 fn main() {
     let n = 1500;
@@ -63,9 +63,7 @@ fn main() {
     // Posterior mean at the test points.
     let tp = st.tree().points();
     let fast_mean: Vec<f64> = (0..test.len())
-        .map(|t| {
-            (0..n).map(|i| kernel.eval(test.point(t), tp.point(i)) * alpha_perm[i]).sum()
-        })
+        .map(|t| (0..n).map(|i| kernel.eval(test.point(t), tp.point(i)) * alpha_perm[i]).sum())
         .collect();
 
     // Exact dense GP for reference (O(N^3)).
@@ -80,7 +78,8 @@ fn main() {
         .map(|t| (0..n).map(|i| kernel.eval(test.point(t), train.point(i)) * alpha_exact[i]).sum())
         .collect();
 
-    let rmse_latent = rmse(&fast_mean, &test_idx.iter().map(|&i| latent(pts.point(i))).collect::<Vec<_>>());
+    let rmse_latent =
+        rmse(&fast_mean, &test_idx.iter().map(|&i| latent(pts.point(i))).collect::<Vec<_>>());
     let vs_exact = rmse(&fast_mean, &exact_mean);
     println!("fast GP   : {fast_secs:.2}s (tree + skeletonize + factor + solve)");
     println!("dense GP  : {exact_secs:.2}s (O(N^3) reference)");
@@ -104,8 +103,7 @@ fn main() {
             &k,
             SkelConfig::default().with_tol(1e-7).with_max_rank(192).with_neighbors(16),
         );
-        let gp = kernel_fds::solver::GaussianProcess::fit(&st_h, &k, sigma2, y)
-            .expect("GP fit");
+        let gp = kernel_fds::solver::GaussianProcess::fit(&st_h, &k, sigma2, y).expect("GP fit");
         let lml = gp.log_marginal_likelihood();
         println!("| {h} | {lml:.1} | {:.2} |", t.elapsed().as_secs_f64());
         if best.map(|(_, b)| lml > b).unwrap_or(true) {

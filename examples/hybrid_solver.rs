@@ -75,13 +75,7 @@ fn main() {
     assert!(r_hybrid < 1e-7, "hybrid should invert the compressed operator");
 }
 
-fn residual(
-    st: &SkeletonTree,
-    kernel: &Gaussian,
-    lambda: f64,
-    x: &[f64],
-    b: &[f64],
-) -> f64 {
+fn residual(st: &SkeletonTree, kernel: &Gaussian, lambda: f64, x: &[f64], b: &[f64]) -> f64 {
     let applied = hier_matvec(st, kernel, lambda, x);
     let num: f64 = applied.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum();
     let den: f64 = b.iter().map(|v| v * v).sum();

@@ -52,10 +52,17 @@ fn main() {
         SolverConfig::default().with_lambda(1e-2),
     )
     .expect("training failed");
-    println!("train (tree + skeletons + 1 factorization + {n_classes}-RHS solve): {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "train (tree + skeletons + 1 factorization + {n_classes}-RHS solve): {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     let t1 = std::time::Instant::now();
     let acc = model.accuracy(&test, &labels[n_train..], 0.5);
-    println!("treecode prediction: {:.2}s, test accuracy {:.1}%", t1.elapsed().as_secs_f64(), 100.0 * acc);
+    println!(
+        "treecode prediction: {:.2}s, test accuracy {:.1}%",
+        t1.elapsed().as_secs_f64(),
+        100.0 * acc
+    );
     assert!(acc > 0.9, "accuracy {acc}");
 }

@@ -62,7 +62,10 @@ fn main() {
     let applied = exact_matvec(&st, &kernel, lambda, &pre.x);
     let num: f64 = applied.iter().zip(&bp).map(|(a, c)| (a - c) * (a - c)).sum();
     let den: f64 = bp.iter().map(|v| v * v).sum();
-    println!("true residual of the preconditioned solution (exact operator): {:.2e}", (num / den).sqrt());
+    println!(
+        "true residual of the preconditioned solution (exact operator): {:.2e}",
+        (num / den).sqrt()
+    );
     assert!(pre.converged);
     assert!(pre.iters < plain.iters || !plain.converged);
 }

@@ -32,12 +32,16 @@ fn run_case(name: &str, data: (PointSet, Vec<f64>), h: f64, lambda: f64) {
     let kernel = Gaussian::new(h);
     let skel = SkelConfig::default().with_tol(1e-6).with_max_rank(192).with_neighbors(16);
     let solver = SolverConfig::default().with_lambda(lambda);
-    let (model, report) = KernelRidge::train(&train, y_train, kernel, 128, skel, solver)
-        .expect("training failed");
+    let (model, report) =
+        KernelRidge::train(&train, y_train, kernel, 128, skel, solver).expect("training failed");
 
     let train_acc = model.accuracy(&train, y_train);
     let test_acc = model.accuracy(&test, y_test);
-    println!("\n{name}: N={n_train} train / {} test, d={}, h={h}, lambda={lambda}", test.len(), pts.dim());
+    println!(
+        "\n{name}: N={n_train} train / {} test, d={}, h={h}, lambda={lambda}",
+        test.len(),
+        pts.dim()
+    );
     println!(
         "  setup {:.2}s | factorization {:.2}s | solve {:.3}s | train residual {:.2e}",
         report.setup_seconds, report.factor_seconds, report.solve_seconds, model.train_residual

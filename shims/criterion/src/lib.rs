@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`, `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement loop and
+//! plain-text reporting (no HTML reports, no statistical regression
+//! analysis). Each benchmark warms up briefly, auto-calibrates an iteration
+//! count so one sample takes a few milliseconds, then reports the median,
+//! minimum, and mean per-iteration time over `sample_size` samples.
+//!
+//! Honors `--bench` noise in argv (ignored) and a single optional filter
+//! substring argument, like upstream's CLI subset that `cargo bench` uses.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export location parity: upstream exposes `criterion::black_box`.
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parses the argv subset that `cargo bench` forwards: flags are
+    /// ignored; the first bare argument becomes a name filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" {
+                continue;
+            }
+            if a.starts_with("--") {
+                // Flag with a possible value (e.g. --save-baseline foo).
+                if !a.contains('=') {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            self.filter = Some(a);
+            break;
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = name.to_string();
+        run_benchmark(self, &full, 100, f);
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(self.criterion, &full, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(self.criterion, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Function + parameter identifier, rendered as `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Measurement handle passed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Warmup + calibration: grow the iteration count until one sample
+    // takes long enough to time reliably.
+    let mut iters: u64 = 1;
+    let warmup_start = Instant::now();
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE_TIME || warmup_start.elapsed() >= WARMUP_TIME {
+            if b.elapsed < TARGET_SAMPLE_TIME && b.elapsed > Duration::ZERO {
+                let scale = TARGET_SAMPLE_TIME.as_secs_f64() / b.elapsed.as_secs_f64();
+                iters = ((iters as f64 * scale).ceil() as u64).max(1);
+            }
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    println!(
+        "{name:<48} median {:>12}  min {:>12}  mean {:>12}  ({} samples x {} iters)",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(mean),
+        per_iter.len(),
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Mirrors upstream: defines a function that runs each bench fn with a
+/// shared `Criterion` instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors upstream: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("factor", 512);
+        assert_eq!(id.0, "factor/512");
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: range and
+//! tuple strategies, `collection::vec`, `prop_map` / `prop_flat_map`, the
+//! `proptest!` macro with `#![proptest_config(...)]`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. No
+//! shrinking: a failing case reports its case index and the deterministic
+//! per-test seed, which is enough to reproduce (runs are fully
+//! deterministic for a given test name unless `PROPTEST_SEED` is set).
+//!
+//! Syntax note: test argument lists inside `proptest!` accept an optional
+//! trailing comma, exactly like upstream.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Entry point macro: mirrors `proptest! { #![proptest_config(expr)] ... }`
+/// with one or more `#[test] fn name(args...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::test_runner::ProptestConfig::default()) $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run! { @cfg($cfg) @name($name) @body($body) $($args)* }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    (@cfg($cfg:expr) @name($name:ident) @body($body:block)
+     $($arg:ident in $strat:expr),+ $(,)?) => {{
+        let cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let seed = $crate::test_runner::seed_for(stringify!($name));
+        let mut rng = $crate::test_runner::new_rng(seed);
+        let mut rejected: u32 = 0;
+        let mut case: u32 = 0;
+        while case < cfg.cases {
+            $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+            let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+            match result {
+                Ok(()) => case += 1,
+                Err($crate::test_runner::TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > cfg.cases * 16 {
+                        panic!(
+                            "proptest {}: too many rejected cases ({rejected})",
+                            stringify!($name)
+                        );
+                    }
+                }
+                Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {case} (seed {seed:#x}): {msg}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} == {:?}", va, vb),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(va == vb) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} != {:?}", va, vb),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (regenerates with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..=8).prop_flat_map(|n| {
+            crate::collection::vec(0.0f64..1.0, n).prop_map(move |data| (n, data))
+        })) {
+            prop_assert_eq!(v.0, v.1.len());
+        }
+
+        #[test]
+        fn assume_rejects(n in 0usize..10,) {
+            prop_assume!(n >= 5);
+            prop_assert!(n >= 5);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(x in 0usize..4) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

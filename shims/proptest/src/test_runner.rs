@@ -1,0 +1,52 @@
+//! Test-runner plumbing: configuration, case outcomes, and deterministic
+//! per-test seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Subset of upstream `ProptestConfig`: only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Inputs violated a `prop_assume!`; draw a fresh case.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic seed for a test, from its name (FNV-1a) unless
+/// `PROPTEST_SEED` overrides it globally.
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,272 @@
+//! The parallel-iterator subset used by this workspace.
+//!
+//! Unlike rayon's lazy splitting, sources are materialized into a `Vec` of
+//! items up front and the terminal operation (`for_each` / `collect`)
+//! distributes order-preserving chunks over the pool. `map` stays lazy so
+//! the mapped work itself runs in parallel. This covers every call shape in
+//! the workspace:
+//!
+//! ```text
+//! slice.par_iter().map(f).collect::<Vec<_>>()
+//! vec.into_par_iter().for_each(f)
+//! range.into_par_iter().map(f).collect::<Vec<_>>()
+//! slice.par_chunks_mut(k).zip(other.par_chunks_mut(k)).enumerate().for_each(f)
+//! ```
+
+use crate::run_batch;
+use std::sync::Mutex;
+
+/// A materialized parallel iterator over `T` items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A lazily mapped parallel iterator (the map runs on the pool).
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion into a [`ParIter`]; implemented for `Vec<T>`, ranges, and
+/// `&[T]` / `&Vec<T>`.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter` on shared slices (and, via deref, `Vec`s).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0);
+        ParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0);
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Marker trait mirroring rayon's `ParallelIterator`; adaptors here are
+/// inherent methods on the concrete types, so this exists only so that
+/// `use rayon::prelude::*` keeps importing a name of that meaning.
+pub trait ParallelIterator {}
+
+impl<T> ParallelIterator for ParIter<T> {}
+impl<T, F> ParallelIterator for ParMap<T, F> {}
+
+impl<T: Send> ParIter<T> {
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Pairs items positionally; the result has the shorter length.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Maps each item to a serial iterator on the pool and flattens the
+    /// results in order (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<U::Item>
+    where
+        F: Fn(T) -> U + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        let nested: Vec<Vec<U::Item>> =
+            execute_map(self.items, &|item| f(item).into_iter().collect());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        execute_for_each(self.items, &f);
+    }
+
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(execute_map(self.items, &self.f))
+    }
+
+    pub fn for_each<R, G>(self, g: G)
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        G: Fn(R) + Sync,
+    {
+        let f = &self.f;
+        execute_for_each(self.items, &|item| g(f(item)));
+    }
+}
+
+/// Order-preserving chunk count: enough chunks per thread for load
+/// balancing without flooding the queue.
+fn chunk_len(n: usize) -> usize {
+    let threads = crate::current_num_threads().max(1);
+    n.div_ceil(threads * 4).max(1)
+}
+
+fn execute_map<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = chunk_len(n);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let slots: Vec<Mutex<Option<Vec<R>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(&slots)
+        .map(|(c, slot)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let out: Vec<R> = c.into_iter().map(f).collect();
+                *slot.lock().unwrap() = Some(out);
+            });
+            task
+        })
+        .collect();
+    run_batch(tasks);
+    let mut out = Vec::with_capacity(n);
+    for s in slots {
+        out.extend(s.into_inner().unwrap().expect("parallel map chunk missing"));
+    }
+    out
+}
+
+fn execute_for_each<T: Send>(items: Vec<T>, f: &(impl Fn(T) + Sync)) {
+    let n = items.len();
+    if n <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let chunk = chunk_len(n);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .map(|c| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                c.into_iter().for_each(f);
+            });
+            task
+        })
+        .collect();
+    run_batch(tasks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_zip_enumerate() {
+        let mut a = vec![0usize; 12];
+        let mut b = [0usize; 12];
+        a.par_chunks_mut(3).zip(b.par_chunks_mut(3)).enumerate().for_each(|(i, (ca, cb))| {
+            for v in ca.iter_mut() {
+                *v = i;
+            }
+            for v in cb.iter_mut() {
+                *v = i * 10;
+            }
+        });
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+        assert_eq!(b[11], 30);
+    }
+
+    #[test]
+    fn into_par_iter_for_each_runs_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        items.into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+}
