@@ -22,7 +22,19 @@ if [[ $fast -eq 0 ]]; then
   cargo build --release
 fi
 
-echo "== cargo test (workspace) =="
+echo "== cargo test (workspace, SIMD default) =="
 cargo test -q --workspace
+
+echo "== cargo test (workspace, KFDS_SIMD=off — scalar reference paths) =="
+KFDS_SIMD=off cargo test -q --workspace
+
+echo "== simd dispatch check =="
+# Fails if this host supports AVX2+FMA but the vector kernels silently
+# fell back to scalar (dispatch or build regression).
+if [[ $fast -eq 0 ]]; then
+  cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check
+else
+  cargo run -q -p kfds-bench --bin perf_trajectory -- --check
+fi
 
 echo "CI OK"

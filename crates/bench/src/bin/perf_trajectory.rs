@@ -4,19 +4,25 @@
 //!
 //! Workloads are the Fig. 4-left complexity-sweep configs and the
 //! Table III dataset configs, scaled to this container. Each workload runs
-//! with the [`kfds_la::workspace`] pool disabled ("before": every scratch
-//! take allocates, exactly the pre-pool behavior) and enabled ("after"),
-//! at 1 and 4 rayon threads, recording wall-clock, GFLOP/s from the
-//! solver's explicit flop counters, peak RSS, and pool hit rates.
+//! over the (pool, simd) A/B grid — the [`kfds_la::workspace`] pool
+//! kill-switch and the [`kfds_la::simd`] microkernel kill-switch — at 1
+//! and 4 rayon threads, recording best-of-3 wall-clock, GFLOP/s from the
+//! solver's explicit flop counters, peak RSS, and pool hit rates. The
+//! `(pool on, simd off)` rows reproduce the pre-SIMD scalar numerics, so
+//! `simd_speedup` in the summary is the before/after of this PR's
+//! vector microkernels.
 //!
 //! ```sh
 //! cargo run --release -p kfds-bench --bin perf_trajectory [-- --scale 2]
 //! # writes BENCH_factor.json in the current directory (run from repo root)
+//! cargo run --release -p kfds-bench --bin perf_trajectory -- --check
+//! # dispatch sanity only: exits 1 if this host supports AVX2+FMA but the
+//! # vector kernels are inactive without KFDS_SIMD=off being set.
 //! ```
 
 use kfds_bench::{arg_f64, build_skeleton_tree, scaled_bandwidth, standin, test_vec, timed};
 use kfds_core::{factorize, SolverConfig};
-use kfds_la::workspace;
+use kfds_la::{simd, workspace};
 use kfds_tree::datasets::normal_embedded;
 use kfds_tree::PointSet;
 
@@ -35,6 +41,7 @@ struct Run {
     n: usize,
     threads: usize,
     pool: bool,
+    simd: bool,
     t_factor_s: f64,
     t_solve_s: f64,
     flops: f64,
@@ -44,10 +51,19 @@ struct Run {
     peak_rss_kb: u64,
 }
 
+/// Measured repetitions per configuration; the committed numbers are the
+/// minimum (best-of-3 suppresses time-slicing noise on shared hosts).
+const REPS: usize = 3;
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        std::process::exit(dispatch_check());
+    }
     let scale = arg_f64("--scale", 1.0);
     let workloads = build_workloads(scale);
     let threads_list = [1usize, 4];
+    // (pool, simd): pool-off baseline, scalar reference, and full fast path.
+    let configs = [(false, true), (true, false), (true, true)];
     let mut runs: Vec<Run> = Vec::new();
 
     for wl in &workloads {
@@ -56,47 +72,83 @@ fn main() {
         let (st, kernel, _) = build_skeleton_tree(&wl.points, wl.h, wl.m, wl.tau, wl.max_rank, 1);
         let cfg = SolverConfig::default().with_lambda(wl.lambda);
         for &threads in &threads_list {
-            for &pool in &[false, true] {
+            for &(pool, simd_on) in &configs {
                 workspace::set_pool_enabled(pool);
+                simd::set_simd_enabled(simd_on);
                 let pool_handle =
                     rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
                 // Warm-up pass: fault in pages / fill the workspace pool so
-                // the measured pass reflects steady state.
+                // the measured passes reflect steady state.
                 let _ = pool_handle.install(|| factorize(&st, &kernel, cfg).expect("warmup"));
                 let (h0, m0) = workspace::stats();
-                let (ft, t_factor) =
-                    pool_handle.install(|| timed(|| factorize(&st, &kernel, cfg).expect("f")));
-                let mut x = test_vec(n, 42);
-                let (_, t_solve) =
-                    pool_handle.install(|| timed(|| ft.solve_in_place(&mut x).expect("solve")));
+                let mut t_factor = f64::INFINITY;
+                let mut t_solve = f64::INFINITY;
+                let mut flops = 0.0;
+                for _ in 0..REPS {
+                    let (ft, tf) =
+                        pool_handle.install(|| timed(|| factorize(&st, &kernel, cfg).expect("f")));
+                    let mut x = test_vec(n, 42);
+                    let (_, ts) =
+                        pool_handle.install(|| timed(|| ft.solve_in_place(&mut x).expect("solve")));
+                    t_factor = t_factor.min(tf);
+                    t_solve = t_solve.min(ts);
+                    flops = ft.stats().flops;
+                }
                 let (h1, m1) = workspace::stats();
-                let stats = ft.stats();
                 runs.push(Run {
                     label: wl.label.clone(),
                     n,
                     threads,
                     pool,
+                    simd: simd_on,
                     t_factor_s: t_factor,
                     t_solve_s: t_solve,
-                    flops: stats.flops,
-                    gflops: stats.flops / t_factor / 1e9,
-                    pool_hits: h1 - h0,
-                    pool_misses: m1 - m0,
+                    flops,
+                    gflops: flops / t_factor / 1e9,
+                    pool_hits: (h1 - h0) / REPS as u64,
+                    pool_misses: (m1 - m0) / REPS as u64,
                     peak_rss_kb: peak_rss_kb(),
                 });
                 let r = runs.last().expect("just pushed");
                 eprintln!(
-                    "  threads={threads} pool={pool}: factor {:.3}s ({:.2} GFLOP/s), solve {:.4}s, hits/misses {}/{}",
+                    "  threads={threads} pool={pool} simd={simd_on}: factor {:.3}s ({:.2} GFLOP/s), solve {:.4}s, hits/misses {}/{}",
                     r.t_factor_s, r.gflops, r.t_solve_s, r.pool_hits, r.pool_misses
                 );
             }
         }
     }
     workspace::set_pool_enabled(true);
+    simd::set_simd_enabled(true);
 
     let json = render_json(&runs, scale);
     std::fs::write("BENCH_factor.json", &json).expect("write BENCH_factor.json");
     eprintln!("wrote BENCH_factor.json ({} runs)", runs.len());
+}
+
+/// `--check`: verifies the SIMD dispatch state is consistent with the host
+/// and the environment. Returns the process exit code.
+///
+/// * AVX2+FMA host, kernels active — OK.
+/// * `KFDS_SIMD=off`/`0` set — scalar mode was requested, OK.
+/// * non-x86 / pre-AVX2 host — scalar fallback is the implementation, OK.
+/// * AVX2+FMA host but kernels inactive with no opt-out — **failure**: the
+///   scalar fallback silently engaged (a dispatch or build regression).
+fn dispatch_check() -> i32 {
+    let feats = simd::detected_features();
+    let env_off = std::env::var_os("KFDS_SIMD").is_some_and(|v| v == "off" || v == "0");
+    if env_off {
+        eprintln!("simd check: KFDS_SIMD=off requested, scalar paths active ({feats})");
+        return 0;
+    }
+    if simd::cpu_supported() && !simd::active() {
+        eprintln!(
+            "simd check FAILED: host supports the vector kernels ({feats}) but they are \
+             inactive and KFDS_SIMD was not set — scalar fallback silently engaged"
+        );
+        return 1;
+    }
+    eprintln!("simd check: features {feats}, vector kernels active = {}", simd::active());
+    0
 }
 
 fn build_workloads(scale: f64) -> Vec<Workload> {
@@ -149,21 +201,24 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kfds-perf-trajectory-v1\",\n");
+    s.push_str("  \"schema\": \"kfds-perf-trajectory-v2\",\n");
     s.push_str(
         "  \"generated_by\": \"cargo run --release -p kfds-bench --bin perf_trajectory\",\n",
     );
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str(&format!("  \"host_cpus\": {cpus},\n"));
-    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime, reproducing pre-pool allocation behavior; this is the before/after comparison. The container exposes a single physical CPU, so multi-thread rows exercise the parallel code paths (row-split tall-skinny GEMM, per-level node parallelism) under time-slicing and cannot show wall-clock speedup; the >=1.3x multi-thread factorization target requires >=4 physical cores to manifest.\",\n");
+    s.push_str(&format!("  \"host_simd\": \"{}\",\n", simd::detected_features()));
+    s.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
+    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise). simd_speedup compares (pool on, simd off) vs (pool on, simd on); pool_speedup compares pool off vs on at simd on. Timings are best-of-3. The container exposes a single physical CPU, so multi-thread rows exercise the parallel code paths (row-split tall-skinny GEMM, per-level node parallelism) under time-slicing and cannot show wall-clock speedup; the >=1.3x multi-thread factorization target requires >=4 physical cores to manifest.\",\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
             r.label,
             r.n,
             r.threads,
             r.pool,
+            r.simd,
             r.t_factor_s,
             r.t_solve_s,
             r.flops,
@@ -177,9 +232,9 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     s.push_str("  ],\n");
     s.push_str("  \"summary\": {\n");
     let mut lines = Vec::new();
-    for r in runs.iter().filter(|r| r.pool) {
+    for r in runs.iter().filter(|r| r.pool && r.simd) {
         if let Some(before) =
-            runs.iter().find(|b| !b.pool && b.label == r.label && b.threads == r.threads)
+            runs.iter().find(|b| !b.pool && b.simd && b.label == r.label && b.threads == r.threads)
         {
             lines.push(format!(
                 "    \"{}_t{}_pool_speedup\": {:.4}",
@@ -188,9 +243,19 @@ fn render_json(runs: &[Run], scale: f64) -> String {
                 before.t_factor_s / r.t_factor_s
             ));
         }
+        if let Some(scalar) =
+            runs.iter().find(|b| b.pool && !b.simd && b.label == r.label && b.threads == r.threads)
+        {
+            lines.push(format!(
+                "    \"{}_t{}_simd_speedup\": {:.4}",
+                r.label,
+                r.threads,
+                scalar.t_factor_s / r.t_factor_s
+            ));
+        }
     }
     // Steady-state allocation behavior: with the pool on, hit rate of the
-    // measured (post-warm-up) pass.
+    // measured (post-warm-up) passes.
     let (hits, misses) = runs
         .iter()
         .filter(|r| r.pool)

@@ -25,9 +25,11 @@ pub fn eval_block(kernel: &dyn Kernel, pts: &PointSet, rows: &[usize], cols: &[u
         let y = pts.point(cols[j]);
         let ny = sq_norm(y);
         for (i, out_ij) in col.iter_mut().enumerate() {
-            let x = pts.point(rows[i]);
-            *out_ij = kernel.eval_parts(dot(x, y), row_norms[i], ny);
+            *out_ij = dot(pts.point(rows[i]), y);
         }
+        // Column = an m x 1 row-major tile; batches the kernel transform
+        // (one vexp per column for Gaussian/Laplacian).
+        kernel.eval_parts_many(col, &row_norms, &[ny]);
     });
     out
 }

@@ -26,6 +26,29 @@ pub trait Kernel: Sync + Send {
         self.eval_parts(dot, nx, ny)
     }
 
+    /// Evaluates the kernel elementwise over a row-major
+    /// `nx.len() x ny.len()` tile of inner products, **in place**:
+    /// on entry `tile[r * ny.len() + c]` holds `x_r . y_c`; on exit it
+    /// holds `K(x_r, y_c)`.
+    ///
+    /// This is the batched form the fused GSKS epilogue and the blocked
+    /// evaluators call. The default walks the tile with
+    /// [`Kernel::eval_parts`]; kernels whose transform ends in an
+    /// exponential (Gaussian, Laplacian) override it to batch the `exp`
+    /// through `kfds_la::simd::vexp`. Overrides must agree with
+    /// `eval_parts` within the SIMD tolerance documented in
+    /// `kfds_la::simd`, and must match it **bitwise** when
+    /// `kfds_la::simd::active()` is false (`KFDS_SIMD=off`).
+    fn eval_parts_many(&self, tile: &mut [f64], nx: &[f64], ny: &[f64]) {
+        debug_assert_eq!(tile.len(), nx.len() * ny.len());
+        let n = ny.len();
+        for (r, &nxr) in nx.iter().enumerate() {
+            for (t, &nyc) in tile[r * n..(r + 1) * n].iter_mut().zip(ny) {
+                *t = self.eval_parts(*t, nxr, nyc);
+            }
+        }
+    }
+
     /// Approximate flop count of one `eval_parts` call (used for the
     /// GFLOP/s accounting of Table I; the `2d` flops of the inner product
     /// are counted separately).
@@ -60,6 +83,23 @@ impl Kernel for Gaussian {
         (-d2 * self.inv_two_h2).exp()
     }
 
+    /// Batched override: the scaled negative squared distances are written
+    /// elementwise (same expression as `eval_parts`, so identical per-entry
+    /// values), then the whole tile goes through one `vexp` call. With SIMD
+    /// off `vexp` is `f64::exp` per element in order — bitwise the scalar
+    /// path; with SIMD on the 4-wide `exp` is within a few ulp of libm.
+    fn eval_parts_many(&self, tile: &mut [f64], nx: &[f64], ny: &[f64]) {
+        debug_assert_eq!(tile.len(), nx.len() * ny.len());
+        let n = ny.len();
+        for (r, &nxr) in nx.iter().enumerate() {
+            for (t, &nyc) in tile[r * n..(r + 1) * n].iter_mut().zip(ny) {
+                let d2 = (nxr + nyc - 2.0 * *t).max(0.0);
+                *t = -d2 * self.inv_two_h2;
+            }
+        }
+        kfds_la::simd::vexp(tile);
+    }
+
     fn name(&self) -> &'static str {
         "gaussian"
     }
@@ -86,6 +126,21 @@ impl Kernel for Laplacian {
     fn eval_parts(&self, dot: f64, nx: f64, ny: f64) -> f64 {
         let d2 = (nx + ny - 2.0 * dot).max(0.0);
         (-d2.sqrt() * self.inv_h).exp()
+    }
+
+    /// Batched override mirroring [`Gaussian::eval_parts_many`]: scalar
+    /// distance transform (bitwise the `eval_parts` argument), one `vexp`
+    /// over the tile.
+    fn eval_parts_many(&self, tile: &mut [f64], nx: &[f64], ny: &[f64]) {
+        debug_assert_eq!(tile.len(), nx.len() * ny.len());
+        let n = ny.len();
+        for (r, &nxr) in nx.iter().enumerate() {
+            for (t, &nyc) in tile[r * n..(r + 1) * n].iter_mut().zip(ny) {
+                let d2 = (nxr + nyc - 2.0 * *t).max(0.0);
+                *t = -d2.sqrt() * self.inv_h;
+            }
+        }
+        kfds_la::simd::vexp(tile);
     }
 
     fn name(&self) -> &'static str {
@@ -206,6 +261,34 @@ mod tests {
     fn polynomial_uses_dot_only() {
         let p = Polynomial::new(1.0, 0.0, 2);
         assert_eq!(p.eval(&[2.0, 0.0], &[3.0, 5.0]), 36.0);
+    }
+
+    #[test]
+    fn eval_parts_many_matches_eval_parts() {
+        let kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(Gaussian::new(0.7)),
+            Box::new(Laplacian::new(1.3)),
+            Box::new(Matern32::new(0.5)),
+            Box::new(Polynomial::new(0.5, 1.0, 3)),
+        ];
+        let nx: Vec<f64> = (0..5).map(|i| 0.3 + i as f64 * 0.7).collect();
+        let ny: Vec<f64> = (0..3).map(|j| 0.1 + j as f64 * 1.1).collect();
+        let dots: Vec<f64> = (0..15).map(|t| ((t * 7 % 11) as f64 * 0.17 - 0.5).min(1.0)).collect();
+        for k in &kernels {
+            let mut tile = dots.clone();
+            k.eval_parts_many(&mut tile, &nx, &ny);
+            for (r, &nxr) in nx.iter().enumerate() {
+                for (c, &nyc) in ny.iter().enumerate() {
+                    let want = k.eval_parts(dots[r * 3 + c], nxr, nyc);
+                    let got = tile[r * 3 + c];
+                    assert!(
+                        (got - want).abs() <= 1e-13 * (1.0 + want.abs()),
+                        "{} ({r},{c}): {got} vs {want}",
+                        k.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,15 @@
 //! paper's 3–30x win over the reference for small `d`.
 //!
 //! The paper implements the microkernel in AVX2/AVX512 assembly; here the
-//! tile is a fixed-size array kernel that LLVM auto-vectorizes — the
-//! algorithmic structure (fusion, packing, tiling) is identical.
+//! tile goes through `kfds_la::simd::gsks_tile_8x4` — an explicit AVX2+FMA
+//! register kernel when the host supports it and `KFDS_SIMD` is not off,
+//! with the pre-existing scalar tile as the reference path (bitwise the
+//! old numerics when SIMD is disabled). In SIMD mode the source panel is
+//! packed **dimension-major** per NR tile so the kernel loads each
+//! dimension's four source values with one vector load, and the kernel
+//! transform of the whole tile is batched through
+//! [`Kernel::eval_parts_many`] (one `vexp` per tile for Gaussian /
+//! Laplacian instead of `MR x NR` scalar `exp` calls).
 
 use crate::function::Kernel;
 use kfds_la::workspace;
@@ -19,19 +26,21 @@ use kfds_la::{MatMut, MatRef};
 use kfds_tree::PointSet;
 use rayon::prelude::*;
 
-/// Register tile height (rows = targets).
-const MR: usize = 4;
-/// Register tile width (columns = sources).
-const NR: usize = 4;
+/// Register tile height (rows = targets), matching the SIMD kernel.
+const MR: usize = kfds_la::simd::GSKS_MR;
+/// Register tile width (columns = sources), matching the SIMD kernel.
+const NR: usize = kfds_la::simd::GSKS_NR;
 
 /// Packed, zero-padded coordinates + norms for one side of a summation.
 /// Storage comes from the workspace pool and returns to it on drop.
 struct Packed {
-    /// `padded x d`, point-major (point `i` = `coords[i*d .. (i+1)*d]`).
+    /// `padded x d`. Point-major (point `i` = `coords[i*d .. (i+1)*d]`)
+    /// for target panels and scalar-mode source panels; dimension-major
+    /// per NR tile for SIMD-mode source panels (see
+    /// [`pack_cols_transposed`]).
     coords: workspace::WsVec,
     /// Squared norms, zero-padded.
     norms: workspace::WsVec,
-    len: usize,
 }
 
 fn pack(pts: &PointSet, idx: &[usize], pad_to: usize) -> Packed {
@@ -44,13 +53,51 @@ fn pack(pts: &PointSet, idx: &[usize], pad_to: usize) -> Packed {
     let mut coords = workspace::take(padded * d);
     let mut norms = workspace::take(padded);
     for (i, &p) in idx.iter().enumerate() {
-        let src = pts.point(p);
-        coords[i * d..(i + 1) * d].copy_from_slice(src);
-        norms[i] = kfds_la::blas1::dot(src, src);
+        coords[i * d..(i + 1) * d].copy_from_slice(pts.point(p));
     }
     coords[idx.len() * d..].fill(0.0);
+    // Norms in one pass over the packed panel (cache-hot, just copied)
+    // instead of re-walking each source point inside the copy loop.
+    for (i, nv) in norms.iter_mut().enumerate().take(idx.len()) {
+        *nv = kfds_la::blas1::nrm2_sq(&coords[i * d..(i + 1) * d]);
+    }
     norms[idx.len()..].fill(0.0);
-    Packed { coords, norms, len: idx.len() }
+    Packed { coords, norms }
+}
+
+/// SIMD-mode source packing: within each NR-point tile the coordinates are
+/// stored dimension-major (`coords[tile*NR*d + kk*NR + c] = y_c[kk]`), so
+/// the vector kernel loads the tile's four values of dimension `kk` with a
+/// single unaligned load instead of a strided gather. Norms come from one
+/// NR-wide vectorizable accumulation pass over the packed panel.
+fn pack_cols_transposed(pts: &PointSet, idx: &[usize]) -> Packed {
+    let d = pts.dim();
+    let padded = idx.len().next_multiple_of(NR);
+    let mut coords = workspace::take(padded * d);
+    let mut norms = workspace::take(padded);
+    // Pad slots of a partial last tile interleave with live ones, so zero
+    // that whole tile up front before scattering the live points in.
+    if !idx.len().is_multiple_of(NR) {
+        let last_tile = (padded / NR - 1) * NR * d;
+        coords[last_tile..].fill(0.0);
+    }
+    for (i, &p) in idx.iter().enumerate() {
+        let base = (i / NR) * NR * d + i % NR;
+        for (kk, &v) in pts.point(p).iter().enumerate() {
+            coords[base + kk * NR] = v;
+        }
+    }
+    norms.fill(0.0);
+    for t in 0..padded / NR {
+        let base = t * NR * d;
+        let (nrow, crow) = (&mut norms[t * NR..(t + 1) * NR], &coords[base..base + NR * d]);
+        for kk in 0..d {
+            for (nv, &v) in nrow.iter_mut().zip(&crow[kk * NR..kk * NR + NR]) {
+                *nv += v * v;
+            }
+        }
+    }
+    Packed { coords, norms }
 }
 
 /// Fused kernel summation: `w = K[rows, cols] * u` (overwrites `w`),
@@ -76,8 +123,11 @@ pub fn sum_fused<K: Kernel>(
         return;
     }
     let d = pts.dim();
+    // Dispatch captured once: the packed source layout and the tile kernel
+    // must agree for the whole call.
+    let use_simd = kfds_la::simd::active();
     let rp = pack(pts, rows, MR);
-    let cp = pack(pts, cols, NR);
+    let cp = if use_simd { pack_cols_transposed(pts, cols) } else { pack(pts, cols, NR) };
     // Zero-padded weights so padded source columns contribute nothing.
     let mut upad = workspace::take(cp.norms.len());
     upad[..u.len()].copy_from_slice(u);
@@ -87,23 +137,42 @@ pub fn sum_fused<K: Kernel>(
     // Parallel over disjoint MR-row chunks of the output.
     w.par_chunks_mut(MR).enumerate().for_each(|(rt, wchunk)| {
         let r0 = rt * MR;
-        let xr = &rp.coords[r0 * d..(r0 + MR.min(rp.len - r0)) * d];
+        let rows_here = wchunk.len();
         let mut acc = [0.0f64; MR];
         for ct in 0..n_tiles_c {
             let c0 = ct * NR;
-            let tile = tile_dots(xr, &cp.coords[c0 * d..(c0 + NR) * d], d);
-            // Fused epilogue: kernel transform + reduction, in registers.
-            for (r, accr) in acc.iter_mut().enumerate().take(wchunk.len()) {
-                let nx = rp.norms[r0 + r];
+            let mut tile = [0.0f64; MR * NR];
+            if use_simd {
+                kfds_la::simd::gsks_tile_8x4(
+                    &rp.coords[r0 * d..(r0 + MR) * d],
+                    &cp.coords[c0 * d..(c0 + NR) * d],
+                    d,
+                    &mut tile,
+                );
+            } else {
+                tile_dots(
+                    &rp.coords[r0 * d..(r0 + rows_here) * d],
+                    &cp.coords[c0 * d..(c0 + NR) * d],
+                    d,
+                    &mut tile,
+                );
+            }
+            // Fused epilogue: batched kernel transform of the live tile
+            // rows, then the weight reduction.
+            k.eval_parts_many(
+                &mut tile[..rows_here * NR],
+                &rp.norms[r0..r0 + rows_here],
+                &cp.norms[c0..c0 + NR],
+            );
+            for (r, accr) in acc.iter_mut().enumerate().take(rows_here) {
                 let mut s = 0.0;
-                for c in 0..NR {
-                    let kv = k.eval_parts(tile[r][c], nx, cp.norms[c0 + c]);
-                    s += kv * upad[c0 + c];
+                for (kv, uv) in tile[r * NR..r * NR + NR].iter().zip(&upad[c0..c0 + NR]) {
+                    s += kv * uv;
                 }
                 *accr += s;
             }
         }
-        wchunk.copy_from_slice(&acc[..wchunk.len()]);
+        wchunk.copy_from_slice(&acc[..rows_here]);
     });
 }
 
@@ -133,9 +202,27 @@ pub fn sum_fused_multi<K: Kernel>(
         w.fill(0.0);
         return;
     }
+    let use_simd = kfds_la::simd::active();
     let rp = pack(pts, rows, MR);
-    let cp = pack(pts, cols, NR);
+    let cp = if use_simd { pack_cols_transposed(pts, cols) } else { pack(pts, cols, NR) };
     let n_tiles_c = cp.norms.len() / NR;
+
+    // SIMD mode: transpose U once into source-major layout (`ut[c * nrhs
+    // + t] = U[c, t]`) so the contraction kernel sweeps each source's
+    // weights with contiguous vector loads. The zero padding rows make the
+    // padded tile columns — whose kernel values are finite but meaningless
+    // — contribute nothing, so the kernel never needs a `cols_here` guard.
+    let ut = use_simd.then(|| {
+        let mut ut = workspace::take(cp.norms.len() * nrhs);
+        for t in 0..nrhs {
+            for (c, &v) in u.col(t).iter().enumerate() {
+                ut[c * nrhs + t] = v;
+            }
+        }
+        ut[cols.len() * nrhs..].fill(0.0);
+        ut
+    });
+    let ut_ref = ut.as_deref();
 
     // Row-major accumulation buffer (m x nrhs) so row tiles are chunkable;
     // zeroed because the tile loop accumulates into it.
@@ -143,26 +230,57 @@ pub fn sum_fused_multi<K: Kernel>(
     wbuf.par_chunks_mut(MR * nrhs).enumerate().for_each(|(rt, wchunk)| {
         let r0 = rt * MR;
         let rows_here = MR.min(m - r0);
-        let xr = &rp.coords[r0 * d..(r0 + rows_here) * d];
         for ct in 0..n_tiles_c {
             let c0 = ct * NR;
             let cols_here = NR.min(cols.len().saturating_sub(c0));
-            let tile = tile_dots(xr, &cp.coords[c0 * d..(c0 + NR) * d], d);
-            // Kernel transform of the tile, then contract against U rows.
-            for r in 0..rows_here {
-                let nx = rp.norms[r0 + r];
-                let mut kv = [0.0f64; NR];
-                for c in 0..cols_here {
-                    kv[c] = k.eval_parts(tile[r][c], nx, cp.norms[c0 + c]);
+            let mut tile = [0.0f64; MR * NR];
+            if use_simd {
+                kfds_la::simd::gsks_tile_8x4(
+                    &rp.coords[r0 * d..(r0 + MR) * d],
+                    &cp.coords[c0 * d..(c0 + NR) * d],
+                    d,
+                    &mut tile,
+                );
+            } else {
+                tile_dots(
+                    &rp.coords[r0 * d..(r0 + rows_here) * d],
+                    &cp.coords[c0 * d..(c0 + NR) * d],
+                    d,
+                    &mut tile,
+                );
+            }
+            // Batched kernel transform of the live rows (padded columns
+            // are evaluated too but never read), then contract against U.
+            k.eval_parts_many(
+                &mut tile[..rows_here * NR],
+                &rp.norms[r0..r0 + rows_here],
+                &cp.norms[c0..c0 + NR],
+            );
+            match ut_ref {
+                // Vectorized contraction of a full row tile against every
+                // RHS at once — this multi-RHS epilogue dominates the
+                // factorization's P̂ panel applies (nrhs = skeleton size).
+                Some(ut) if rows_here == MR => {
+                    kfds_la::simd::gsks_contract_8x4(
+                        &tile,
+                        &ut[c0 * nrhs..(c0 + NR) * nrhs],
+                        nrhs,
+                        wchunk,
+                    );
                 }
-                let wrow = &mut wchunk[r * nrhs..(r + 1) * nrhs];
-                for (t, wt) in wrow.iter_mut().enumerate() {
-                    let ucol = u.col(t);
-                    let mut s = 0.0;
-                    for c in 0..cols_here {
-                        s += kv[c] * ucol[c0 + c];
+                _ => {
+                    for r in 0..rows_here {
+                        let krow = &tile[r * NR..r * NR + NR];
+                        let wrow = &mut wchunk[r * nrhs..(r + 1) * nrhs];
+                        for (t, wt) in wrow.iter_mut().enumerate() {
+                            let ucol = u.col(t);
+                            let mut s = 0.0;
+                            for c in 0..cols_here {
+                                s += krow[c] * ucol[c0 + c];
+                            }
+                            *wt += s;
+                        }
                     }
-                    *wt += s;
                 }
             }
         }
@@ -177,12 +295,12 @@ pub fn sum_fused_multi<K: Kernel>(
 }
 
 /// Computes the `MR x NR` tile of inner products between `xr` (up to MR
-/// packed points) and `yc` (NR packed points), the semi-ring rank-`d`
-/// update at the heart of GSKS.
+/// packed points) and `yc` (NR **point-major** packed points), the
+/// semi-ring rank-`d` update at the heart of GSKS — the scalar reference
+/// path, written row-major into `out` (`out[r*NR + c] = x_r . y_c`).
 #[inline]
-fn tile_dots(xr: &[f64], yc: &[f64], d: usize) -> [[f64; NR]; MR] {
-    let mut acc = [[0.0f64; NR]; MR];
-    let rows = xr.len() / d;
+fn tile_dots(xr: &[f64], yc: &[f64], d: usize, out: &mut [f64; MR * NR]) {
+    let rows = xr.len().checked_div(d).unwrap_or(0);
     for kk in 0..d {
         let mut yv = [0.0f64; NR];
         for (c, yvc) in yv.iter_mut().enumerate() {
@@ -190,12 +308,11 @@ fn tile_dots(xr: &[f64], yc: &[f64], d: usize) -> [[f64; NR]; MR] {
         }
         for r in 0..rows {
             let xv = xr[r * d + kk];
-            for c in 0..NR {
-                acc[r][c] += xv * yv[c];
+            for (acc, &y) in out[r * NR..r * NR + NR].iter_mut().zip(&yv) {
+                *acc += xv * y;
             }
         }
     }
-    acc
 }
 
 #[cfg(test)]

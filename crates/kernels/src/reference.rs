@@ -43,13 +43,11 @@ pub fn kernel_block_gemm<K: Kernel>(k: &K, pts: &PointSet, rows: &[usize], cols:
     for j in 0..n {
         col_norms[j] = sq_norm(xc.col(j));
     }
-    // Elementwise kernel transform (the VEXP pass).
+    // Elementwise kernel transform (the VEXP pass) — batched per column
+    // through eval_parts_many, which vectorizes the exponential for the
+    // Gaussian/Laplacian kernels (the actual VML-VEXP analogue now).
     for j in 0..n {
-        let nyj = col_norms[j];
-        let col = g.col_mut(j);
-        for (i, gij) in col.iter_mut().enumerate() {
-            *gij = k.eval_parts(*gij, row_norms[i], nyj);
-        }
+        k.eval_parts_many(g.col_mut(j), &row_norms[..m], &col_norms[j..j + 1]);
     }
     workspace::recycle_mat(xr);
     workspace::recycle_mat(xc);

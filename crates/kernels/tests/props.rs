@@ -106,6 +106,149 @@ fn pooled_gsks_successive_shapes_do_not_alias() {
     }
 }
 
+/// RAII guard mirroring the one in `kfds-la`'s props: scalar mode while
+/// held, prior mode restored on drop. Use only under [`POOL_TOGGLE`].
+struct SimdOff {
+    was_active: bool,
+}
+
+impl SimdOff {
+    fn new() -> Self {
+        let was_active = kfds_la::simd::active();
+        kfds_la::simd::set_simd_enabled(false);
+        SimdOff { was_active }
+    }
+}
+
+impl Drop for SimdOff {
+    fn drop(&mut self) {
+        kfds_la::simd::set_simd_enabled(self.was_active);
+    }
+}
+
+/// Fused summation with the SIMD tile kernel vs the scalar fallback path
+/// (which also takes the point-major packing layout) within the relative
+/// tolerance of `d`-term reassociation plus the vectorized exponential.
+fn assert_gsks_simd_vs_scalar(n: usize, d: usize, split: usize, nrhs: usize, seed: u64) {
+    fn check<K: Kernel>(k: &K, n: usize, d: usize, split: usize, nrhs: usize, seed: u64) {
+        let pts = det_points(n, d, seed);
+        let rows: Vec<usize> = (0..split).collect();
+        let cols: Vec<usize> = (split..n).collect();
+        let u: Vec<f64> = (0..cols.len()).map(|i| (i as f64 * 0.53 + 0.1).sin()).collect();
+        let umat =
+            kfds_la::Mat::from_fn(cols.len(), nrhs, |i, j| ((i * 5 + j) as f64 * 0.41).cos());
+        let mut w_simd = vec![0.0; rows.len()];
+        sum_fused(k, &pts, &rows, &cols, &u, &mut w_simd);
+        let mut wm_simd = kfds_la::Mat::zeros(rows.len(), nrhs);
+        sum_fused_multi(k, &pts, &rows, &cols, umat.rb(), wm_simd.rb_mut());
+        let (w_scalar, wm_scalar) = {
+            let _off = SimdOff::new();
+            let mut w = vec![0.0; rows.len()];
+            sum_fused(k, &pts, &rows, &cols, &u, &mut w);
+            let mut wm = kfds_la::Mat::zeros(rows.len(), nrhs);
+            sum_fused_multi(k, &pts, &rows, &cols, umat.rb(), wm.rb_mut());
+            (w, wm)
+        };
+        let tol = 1e-12 * (d + cols.len()) as f64;
+        for i in 0..rows.len() {
+            assert!(
+                (w_simd[i] - w_scalar[i]).abs() <= tol * (1.0 + w_scalar[i].abs()),
+                "{} ({n},{d},{split}) row {i}: simd {} vs scalar {}",
+                k.name(),
+                w_simd[i],
+                w_scalar[i]
+            );
+        }
+        for j in 0..nrhs {
+            for i in 0..rows.len() {
+                assert!(
+                    (wm_simd[(i, j)] - wm_scalar[(i, j)]).abs()
+                        <= tol * (1.0 + wm_scalar[(i, j)].abs()),
+                    "{} multi ({i},{j})",
+                    k.name()
+                );
+            }
+        }
+    }
+    check(&Gaussian::new(0.9), n, d, split, nrhs, seed);
+    check(&Laplacian::new(1.2), n, d, split, nrhs, seed);
+    check(&Matern32::new(0.7), n, d, split, nrhs, seed);
+}
+
+#[test]
+fn simd_gsks_matches_scalar_edge_tiles() {
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    // Shapes straddling the 8x4 GSKS tile: partial row tiles (rows < MR),
+    // partial column tiles (cols % NR != 0), d from 1 to past a 4-wide
+    // register, and nrhs around the contraction kernel's 4-wide RHS step
+    // (exact multiple, scalar tail, and below one vector).
+    for &(n, d, split, nrhs) in &[
+        (3usize, 1usize, 1usize, 1usize),
+        (9, 2, 5, 2),
+        (12, 3, 8, 1),
+        (20, 4, 8, 3),
+        (37, 5, 16, 2),
+        (40, 4, 24, 4),
+        (44, 6, 32, 7),
+        (30, 3, 16, 12),
+        (48, 8, 24, 1),
+        (50, 11, 17, 2),
+    ] {
+        assert_gsks_simd_vs_scalar(n, d, split, nrhs, 0xbeef + n as u64);
+    }
+}
+
+#[test]
+fn gsks_coincident_points_no_nan() {
+    // Duplicated points make ||x-y||^2 cancel to (possibly slightly
+    // negative) zero; the clamp plus the SIMD exp must keep every kernel
+    // value finite and the all-coincident sums exactly sum(u) * K(x,x).
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    let d = 3;
+    let n = 13;
+    let mut data = Vec::with_capacity(n * d);
+    for i in 0..n {
+        // Three distinct locations, each repeated several times.
+        let base = (i % 3) as f64 * 0.77 - 0.5;
+        data.extend_from_slice(&[base, base * 1.3 + 0.1, -base]);
+    }
+    let pts = PointSet::from_col_major(d, data);
+    let rows: Vec<usize> = (0..6).collect();
+    let cols: Vec<usize> = (6..n).collect();
+    let u: Vec<f64> = (0..cols.len()).map(|i| 0.3 + i as f64 * 0.2).collect();
+    fn check<K: Kernel>(k: &K, pts: &PointSet, rows: &[usize], cols: &[usize], u: &[f64]) {
+        let mut w = vec![f64::NAN; rows.len()];
+        sum_fused(k, pts, rows, cols, u, &mut w);
+        let mut w_ref = vec![f64::NAN; rows.len()];
+        sum_reference(k, pts, rows, cols, u, &mut w_ref);
+        for (i, (a, b)) in w_ref.iter().zip(&w).enumerate() {
+            assert!(b.is_finite(), "{} row {i} not finite: {b}", k.name());
+            assert!(
+                (a - b).abs() < 1e-10 * (1.0 + a.abs()),
+                "{} row {i}: fused {b} vs reference {a}",
+                k.name()
+            );
+        }
+    }
+    check(&Gaussian::new(0.8), &pts, &rows, &cols, &u);
+    check(&Laplacian::new(1.1), &pts, &rows, &cols, &u);
+    check(&Matern32::new(0.9), &pts, &rows, &cols, &u);
+    // Fully degenerate set: every point identical. K = 1 everywhere, so
+    // each output row is exactly the weight sum (up to summation order).
+    let one = vec![0.25; 4 * d];
+    let pts1 = PointSet::from_col_major(d, one);
+    fn check_degenerate<K: Kernel>(k: &K, pts1: &PointSet) {
+        let mut w = vec![f64::NAN; 2];
+        sum_fused(k, pts1, &[0, 1], &[2, 3], &[2.0, -0.5], &mut w);
+        for (i, v) in w.iter().enumerate() {
+            assert!((v - 1.5).abs() < 1e-12, "{} degenerate row {i}: {v}", k.name());
+        }
+    }
+    check_degenerate(&Gaussian::new(0.8), &pts1);
+    check_degenerate(&Laplacian::new(1.1), &pts1);
+    check_degenerate(&Matern32::new(0.9), &pts1);
+}
+
 fn points_strategy(max_n: usize, max_d: usize) -> impl Strategy<Value = PointSet> {
     (2..=max_n, 1..=max_d).prop_flat_map(|(n, d)| {
         proptest::collection::vec(-3.0f64..3.0, n * d)
@@ -172,6 +315,13 @@ proptest! {
     fn pooled_gsks_bitwise_identical_random(n in 4usize..40, d in 1usize..6, nrhs in 1usize..4, seed in 0u64..500) {
         let split = (n / 2).max(1);
         assert_gsks_pool_invariant(n, d, split, nrhs, seed);
+    }
+
+    #[test]
+    fn simd_gsks_matches_scalar_random(n in 4usize..40, d in 1usize..8, nrhs in 1usize..10, seed in 0u64..500) {
+        let _guard = POOL_TOGGLE.lock().unwrap();
+        let split = (n / 2).max(1);
+        assert_gsks_simd_vs_scalar(n, d, split, nrhs, seed);
     }
 
     #[test]

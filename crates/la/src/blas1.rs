@@ -5,11 +5,23 @@
 
 /// Dot product `x . y`.
 ///
+/// Dispatches to the AVX2+FMA kernel when [`crate::simd::active`] and the
+/// vectors are long enough to amortize the horizontal reduction; the scalar
+/// body below stays the reference path (and the exact pre-SIMD numerics
+/// under `KFDS_SIMD=off`).
+///
 /// # Panics
 /// Panics if the lengths differ.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if x.len() >= 8 && crate::simd::active() {
+            // SAFETY: active() implies AVX2+FMA; lengths asserted equal.
+            return unsafe { crate::simd::dot_avx2(x, y) };
+        }
+    }
     // Four partial accumulators break the additive dependency chain so LLVM
     // can vectorize and pipeline the reduction.
     let mut acc = [0.0f64; 4];
@@ -30,6 +42,9 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 
 /// `y += alpha * x`.
 ///
+/// Dispatches to the AVX2+FMA kernel when [`crate::simd::active`]; the
+/// scalar body stays the reference path under `KFDS_SIMD=off`.
+///
 /// # Panics
 /// Panics if the lengths differ.
 #[inline]
@@ -37,6 +52,14 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     if alpha == 0.0 {
         return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if x.len() >= 8 && crate::simd::active() {
+            // SAFETY: active() implies AVX2+FMA; lengths asserted equal.
+            unsafe { crate::simd::axpy_avx2(alpha, x, y) };
+            return;
+        }
     }
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * xi;

@@ -5,8 +5,11 @@ use crate::mat::{MatMut, MatRef};
 
 /// `y = alpha * A * x + beta * y`.
 ///
-/// Walks `A` column-by-column (contiguous in column-major storage), so the
-/// inner loop is an `axpy` over a unit-stride column.
+/// Walks `A` column-by-column (contiguous in column-major storage). With
+/// SIMD active the columns are blocked four at a time through the AVX2
+/// kernel so each load of `y` amortizes four FMA columns; the scalar path
+/// (an `axpy` per unit-stride column) stays the reference implementation
+/// under `KFDS_SIMD=off`.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -20,6 +23,26 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     }
     if alpha == 0.0 {
         return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if a.nrows() >= 4 && a.ncols() > 0 && crate::simd::active() {
+            // SAFETY: active() implies AVX2+FMA; the view exposes
+            // `col_stride * (ncols - 1) + nrows` elements from `as_ptr()`
+            // and the length asserts above cover x and y.
+            unsafe {
+                crate::simd::dgemv_add_avx2(
+                    a.nrows(),
+                    a.ncols(),
+                    alpha,
+                    a.as_ptr(),
+                    a.col_stride(),
+                    x.as_ptr(),
+                    y.as_mut_ptr(),
+                );
+            }
+            return;
+        }
     }
     for (j, &xv) in x.iter().enumerate() {
         let xj = alpha * xv;

@@ -16,10 +16,13 @@ pub enum Trans {
     Yes,
 }
 
-/// Register tile rows of the microkernel.
-const MR: usize = 8;
-/// Register tile columns of the microkernel.
-const NR: usize = 4;
+/// Register tile rows of the microkernel (shared with the AVX2 kernel:
+/// two 4-wide vector registers per column).
+const MR: usize = crate::simd::GEMM_MR;
+/// Register tile columns of the microkernel — 6 columns x 2 row vectors
+/// leaves 12 of the 16 `ymm` registers as accumulators, the BLIS-style
+/// 8x6 double-precision tiling for AVX2.
+const NR: usize = crate::simd::GEMM_NR;
 /// Cache block sizes (L2-ish for A panel, L1-ish for the k dimension).
 const MC: usize = 256;
 const KC: usize = 256;
@@ -153,7 +156,10 @@ fn gemm_parallel(
         ROW_SPLITS.fetch_add(1, Ordering::Relaxed);
         // MC-aligned midpoint: both halves stay multiples of the cache
         // block except possibly the last, mirroring the serial ic loop.
-        let half = (m / 2).next_multiple_of(MC).min(m - 1);
+        // Clamped to the largest MC multiple below m so the invariant
+        // survives `m / 2` rounding up past `m` (m >= MC_PAR = 2*MC, so
+        // the clamp is always a positive multiple of MC).
+        let half = (m / 2).next_multiple_of(MC).min((m - 1) / MC * MC);
         let (ct, cb) = c.split_at_row(half);
         let (at, ab) = match ta {
             Trans::No => (a.submatrix(0..half, 0..k), a.submatrix(half..m, 0..k)),
@@ -267,6 +273,10 @@ fn macro_kernel(
 ) {
     let mpanels = mc.div_ceil(MR);
     let npanels = nc.div_ceil(NR);
+    // Captured once per macro tile: active() implies CPU support, which is
+    // immutable, so a concurrent kill-switch flip cannot make the vector
+    // call unsound — at worst one macro tile finishes on the old path.
+    let use_simd = crate::simd::active();
     for jp in 0..npanels {
         let j0 = jp * NR;
         let jcols = NR.min(nc - j0);
@@ -275,6 +285,11 @@ fn macro_kernel(
             let i0 = ipn * MR;
             let irows = MR.min(mc - i0);
             let apanel = &apack[ipn * MR * kc..(ipn * MR * kc) + MR * kc];
+            if use_simd
+                && simd_micro_tile(alpha, apanel, bpanel, kc, irows, jcols, ic + i0, j0, &mut c)
+            {
+                continue;
+            }
             let acc = micro_kernel(apanel, bpanel, kc);
             // Accumulate the (possibly partial) tile into C. Plain index
             // loops here: `jl`/`il` address both the tile and C.
@@ -286,6 +301,74 @@ fn macro_kernel(
                 }
             }
         }
+    }
+}
+
+/// Runs one register tile through the AVX2 microkernel, accumulating
+/// `alpha * tile` into `C` at `(i0, j0)`. Full tiles are written straight
+/// into `C` (no intermediate store); partial edge tiles go through a stack
+/// buffer whose live part is accumulated. Returns `false` on non-x86
+/// builds, where the caller falls back to the scalar reference tile.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn simd_micro_tile(
+    alpha: f64,
+    apanel: &[f64],
+    bpanel: &[f64],
+    kc: usize,
+    irows: usize,
+    jcols: usize,
+    i0: usize,
+    j0: usize,
+    c: &mut MatMut<'_>,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+        debug_assert!(i0 + irows <= c.nrows() && j0 + jcols <= c.ncols());
+        let ldc = c.col_stride();
+        if irows == MR && jcols == NR {
+            // SAFETY: the caller's dispatch guarantees AVX2+FMA (active()
+            // implies cpu_supported()); panel lengths and the full MR x NR
+            // destination tile are checked above.
+            unsafe {
+                let cptr = c.as_mut_ptr().add(i0 + j0 * ldc);
+                crate::simd::dgemm_tile_avx2(
+                    kc,
+                    alpha,
+                    apanel.as_ptr(),
+                    bpanel.as_ptr(),
+                    cptr,
+                    ldc,
+                );
+            }
+        } else {
+            let mut tile = [0.0f64; MR * NR];
+            // SAFETY: as above, with the stack tile (ldc = MR) as C.
+            unsafe {
+                crate::simd::dgemm_tile_avx2(
+                    kc,
+                    alpha,
+                    apanel.as_ptr(),
+                    bpanel.as_ptr(),
+                    tile.as_mut_ptr(),
+                    MR,
+                );
+            }
+            for jl in 0..jcols {
+                let ccol = c.col_mut(j0 + jl);
+                for (il, &t) in tile[jl * MR..jl * MR + irows].iter().enumerate() {
+                    ccol[i0 + il] += t;
+                }
+            }
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // active() is always false off x86-64, but keep the signature used.
+        let _ = (alpha, apanel, bpanel, kc, irows, jcols, i0, j0, c);
+        false
     }
 }
 

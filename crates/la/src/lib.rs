@@ -30,6 +30,7 @@ pub mod lu;
 pub mod mat;
 pub mod power;
 pub mod qr;
+pub mod simd;
 pub mod tri;
 pub mod workspace;
 

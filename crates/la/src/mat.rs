@@ -291,6 +291,13 @@ impl<'a> MatRef<'a> {
         &self.data[j * self.col_stride..j * self.col_stride + self.nrows]
     }
 
+    /// Pointer to element `(0, 0)`; element `(i, j)` is at offset
+    /// `i + j * col_stride`. Used by the SIMD kernels.
+    #[inline]
+    pub fn as_ptr(&self) -> *const f64 {
+        self.data.as_ptr()
+    }
+
     /// Sub-view of rows `rows` and columns `cols`.
     pub fn submatrix(
         &self,
@@ -513,6 +520,14 @@ impl<'a> MatMut<'a> {
             unsafe { self.ptr.add(rows.start + cols.start * self.col_stride) }
         };
         MatMut { ptr, nrows, ncols, col_stride: self.col_stride, marker: std::marker::PhantomData }
+    }
+
+    /// Pointer to element `(0, 0)`; element `(i, j)` is at offset
+    /// `i + j * col_stride`. Used by the SIMD microkernel to write a full
+    /// register tile without materializing per-column borrows.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+        self.ptr
     }
 
     /// Fills the view with `v`.

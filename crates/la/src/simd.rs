@@ -1,0 +1,655 @@
+//! Explicit-SIMD microkernels with runtime dispatch (AVX2 + FMA).
+//!
+//! The paper's single-node performance rests on hand-written AVX2/AVX-512
+//! register-tile kernels (GSKS \[24\], BLIS-style GEMM); the scalar
+//! `[[f64; NR]; MR]` tiles this repo started with leave an order of
+//! magnitude on the table per core. This module provides the explicit
+//! vector kernels every hot path bottoms out in:
+//!
+//! * an `8 x 6` f64 GEMM microkernel ([`dgemm_tile_avx2`]) operating on
+//!   MR/NR-packed panels, accumulators held in 12 `ymm` registers and
+//!   written straight into column-major `C`;
+//! * a fused-summation rank-`d` tile kernel ([`gsks_tile_8x4`]) for the
+//!   GSKS engine (8 targets x 4 sources per register tile);
+//! * GEMV ([`dgemv_add_avx2`]) with 4-column blocking so each `y` vector
+//!   load amortizes four FMA columns;
+//! * dot / axpy vector loops for BLAS-1 ([`dot_avx2`], [`axpy_avx2`]);
+//! * a vectorized polynomial `exp` ([`vexp`]) for the Gaussian/Laplacian
+//!   kernel transforms (paper §II-D evaluates the kernel inside the
+//!   register tile; a scalar `exp` call per element destroys the fusion
+//!   win). Accuracy is bounded against [`f64::exp`] — see [`vexp`].
+//!
+//! # Dispatch
+//!
+//! Whether the vector kernels run is decided at runtime:
+//!
+//! * the CPU must report AVX2 **and** FMA (`is_x86_feature_detected!`);
+//!   on other targets the portable scalar paths are the implementation
+//!   (no unconditional `std::arch::x86_64` imports anywhere);
+//! * the `KFDS_SIMD=off` (or `=0`) environment kill-switch — mirroring
+//!   `KFDS_WS_POOL` — forces the scalar reference paths, so
+//!   pooled/unpooled x simd/scalar can be A/B'd in one binary;
+//! * [`set_simd_enabled`] overrides the environment at runtime (used by
+//!   the perf-trajectory harness and the A/B property tests).
+//!
+//! # Tolerance model
+//!
+//! With SIMD off, every consumer takes its pre-existing scalar path and
+//! reproduces the previous numerics **bitwise**. With SIMD on, results
+//! differ from scalar by reassociation and fused multiply-adds: for a
+//! length-`k` reduction the per-element deviation is bounded by
+//! `O(k * eps * sum |terms|)` — the property tests in
+//! `crates/la/tests/props.rs` assert agreement within that envelope.
+//! [`vexp`] deviates from `f64::exp` by at most a few ulp (asserted at
+//! `1e-14` relative); inputs below the normal range flush to zero.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// GEMM microkernel register-tile rows.
+pub const GEMM_MR: usize = 8;
+/// GEMM microkernel register-tile columns.
+pub const GEMM_NR: usize = 6;
+/// GSKS tile kernel rows (targets).
+pub const GSKS_MR: usize = 8;
+/// GSKS tile kernel columns (sources).
+pub const GSKS_NR: usize = 4;
+
+/// Runtime kill-switch so benchmarks and tests can A/B the vector and
+/// scalar paths in one process. Defaults to on; `KFDS_SIMD=off` (or `0`)
+/// disables.
+static SIMD_ENABLED: AtomicBool = AtomicBool::new(true);
+static ENV_INIT: Once = Once::new();
+
+#[inline]
+fn enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        if std::env::var_os("KFDS_SIMD").is_some_and(|v| v == "off" || v == "0") {
+            SIMD_ENABLED.store(false, Ordering::Relaxed);
+        }
+    });
+    SIMD_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables the SIMD kernels at runtime (overrides `KFDS_SIMD`).
+/// With SIMD off every consumer runs its scalar reference path, which is
+/// exactly the pre-SIMD behavior — used by the perf-trajectory harness and
+/// the scalar-vs-vector property tests to A/B from one binary.
+pub fn set_simd_enabled(on: bool) {
+    let _ = enabled(); // apply the env default first so it cannot clobber us
+    SIMD_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` if this CPU supports the vector kernels (x86-64 with AVX2+FMA).
+/// Immutable for the process lifetime — [`active`] implies this, which is
+/// what makes capturing the dispatch decision once per call sound.
+pub fn cpu_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `true` if the vector kernels are both supported and enabled.
+#[inline]
+pub fn active() -> bool {
+    enabled() && cpu_supported()
+}
+
+/// Human-readable list of detected vector features (for perf reports),
+/// e.g. `"avx2+fma+avx512f"`; `"none"` when nothing relevant is present.
+pub fn detected_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let feats = [
+            ("avx2", is_x86_feature_detected!("avx2")),
+            ("fma", is_x86_feature_detected!("fma")),
+            ("avx512f", is_x86_feature_detected!("avx512f")),
+        ];
+        let have: Vec<&str> = feats.iter().filter(|(_, h)| *h).map(|(n, _)| *n).collect();
+        if have.is_empty() {
+            "none".to_string()
+        } else {
+            have.join("+")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "none".to_string()
+    }
+}
+
+/// Elementwise `exp` over a slice, in place.
+///
+/// Dispatches to a 4-wide AVX2 polynomial kernel when [`active`]; falls
+/// back to [`f64::exp`] per element otherwise (so `KFDS_SIMD=off` is
+/// bitwise the scalar libm path).
+///
+/// Vector-path accuracy: relative error vs [`f64::exp`] is a few ulp
+/// (tested at `1e-14`); inputs below `-708.396` (where `exp` enters the
+/// subnormal range) flush to `0.0` (absolute error `< 2.5e-308`); inputs
+/// above `709.783` saturate to `+inf`; NaN propagates.
+pub fn vexp(xs: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active() {
+            // SAFETY: active() implies AVX2+FMA support.
+            unsafe { x86::vexp_avx2(xs) };
+            return;
+        }
+    }
+    for v in xs.iter_mut() {
+        *v = v.exp();
+    }
+}
+
+/// The GSKS rank-`d` register tile: inner products between `GSKS_MR`
+/// packed points `xr` (point-major, point `r` at `xr[r*d..(r+1)*d]`) and
+/// `GSKS_NR` packed points `yct` stored **dimension-major**
+/// (`yct[kk*GSKS_NR + c] = y_c[kk]`), written row-major into `out`
+/// (`out[r*GSKS_NR + c] = xr_r . y_c`).
+///
+/// Correct on every target: uses the AVX2 kernel when [`active`], a
+/// portable loop over the same transposed layout otherwise.
+///
+/// # Panics
+/// Panics if `xr` or `yct` are shorter than the tile requires.
+pub fn gsks_tile_8x4(xr: &[f64], yct: &[f64], d: usize, out: &mut [f64; GSKS_MR * GSKS_NR]) {
+    assert!(xr.len() >= GSKS_MR * d, "gsks_tile_8x4: xr too short");
+    assert!(yct.len() >= GSKS_NR * d, "gsks_tile_8x4: yct too short");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active() {
+            // SAFETY: bounds asserted above; active() implies AVX2+FMA.
+            unsafe { x86::gsks_tile_avx2(xr.as_ptr(), yct.as_ptr(), d, out) };
+            return;
+        }
+    }
+    out.fill(0.0);
+    for kk in 0..d {
+        let yv = &yct[GSKS_NR * kk..GSKS_NR * kk + GSKS_NR];
+        for r in 0..GSKS_MR {
+            let xv = xr[r * d + kk];
+            let orow = &mut out[GSKS_NR * r..GSKS_NR * r + GSKS_NR];
+            for (o, &y) in orow.iter_mut().zip(yv) {
+                *o += xv * y;
+            }
+        }
+    }
+}
+
+/// The GSKS multi-RHS contraction: `W[r, t] += sum_c tile[r, c] * ut[c, t]`
+/// for the `GSKS_MR x GSKS_NR` kernel-value tile (row-major) against an
+/// `GSKS_NR x nrhs` slice of the **transposed** weight matrix (`ut[c, t]`
+/// at `ut[c * nrhs + t]`), accumulating into the row-major `GSKS_MR x nrhs`
+/// output chunk `wrows`.
+///
+/// This is the fused epilogue's hot loop when many right-hand sides share
+/// one kernel block (the factorization's `P̂` panels): per tile the
+/// `MR x NR` kernel values contract against every RHS, so the work is
+/// `MR * NR * nrhs` FMAs — vectorized 4-wide over `t`. Correct on every
+/// target: AVX2 kernel when [`active`], portable loop otherwise.
+///
+/// # Panics
+/// Panics if `ut` or `wrows` are shorter than the tile requires.
+pub fn gsks_contract_8x4(
+    tile: &[f64; GSKS_MR * GSKS_NR],
+    ut: &[f64],
+    nrhs: usize,
+    wrows: &mut [f64],
+) {
+    assert!(ut.len() >= GSKS_NR * nrhs, "gsks_contract_8x4: ut too short");
+    assert!(wrows.len() >= GSKS_MR * nrhs, "gsks_contract_8x4: wrows too short");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active() {
+            // SAFETY: bounds asserted above; active() implies AVX2+FMA.
+            unsafe {
+                x86::gsks_contract_avx2(tile, ut.as_ptr(), nrhs, wrows.as_mut_ptr());
+            }
+            return;
+        }
+    }
+    for (r, trow) in tile.chunks_exact(GSKS_NR).enumerate() {
+        let wrow = &mut wrows[r * nrhs..(r + 1) * nrhs];
+        for (c, &kv) in trow.iter().enumerate() {
+            let urow = &ut[c * nrhs..c * nrhs + nrhs];
+            for (wt, &uv) in wrow.iter_mut().zip(urow) {
+                *wt += kv * uv;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::{axpy_avx2, dgemm_tile_avx2, dgemv_add_avx2, dot_avx2};
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// `C[0..8, 0..6] += alpha * sum_k ap[:, k] * bp[k, :]` — the BLIS-style
+    /// register-tile microkernel. `ap` is an MR-major packed A panel (8
+    /// consecutive rows per `k`), `bp` an NR-major packed B panel (6
+    /// consecutive columns per `k`); `C` is column-major with stride `ldc`.
+    /// The 12 accumulators live in `ymm` registers for the whole `k` loop;
+    /// the epilogue fuses the `alpha` scale into the `C` update.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA. `ap`/`bp` must hold at least `8*kc` / `6*kc`
+    /// readable elements and `c[i + j*ldc]` must be writable for all
+    /// `i < 8`, `j < 6`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dgemm_tile_avx2(
+        kc: usize,
+        alpha: f64,
+        ap: *const f64,
+        bp: *const f64,
+        c: *mut f64,
+        ldc: usize,
+    ) {
+        let mut acc = [[_mm256_setzero_pd(); 2]; 6];
+        for k in 0..kc {
+            let a0 = _mm256_loadu_pd(ap.add(8 * k));
+            let a1 = _mm256_loadu_pd(ap.add(8 * k + 4));
+            for (j, accj) in acc.iter_mut().enumerate() {
+                let b = _mm256_broadcast_sd(&*bp.add(6 * k + j));
+                accj[0] = _mm256_fmadd_pd(a0, b, accj[0]);
+                accj[1] = _mm256_fmadd_pd(a1, b, accj[1]);
+            }
+        }
+        let va = _mm256_set1_pd(alpha);
+        for (j, accj) in acc.iter().enumerate() {
+            let col = c.add(j * ldc);
+            let lo = _mm256_loadu_pd(col);
+            let hi = _mm256_loadu_pd(col.add(4));
+            _mm256_storeu_pd(col, _mm256_fmadd_pd(accj[0], va, lo));
+            _mm256_storeu_pd(col.add(4), _mm256_fmadd_pd(accj[1], va, hi));
+        }
+    }
+
+    /// The GSKS tile kernel: 8 broadcast-FMA rows against one 4-wide
+    /// source vector per dimension. See [`super::gsks_tile_8x4`].
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `xr` must hold `8*d` and `yct` `4*d` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gsks_tile_avx2(xr: *const f64, yct: *const f64, d: usize, out: &mut [f64; 32]) {
+        let mut acc = [_mm256_setzero_pd(); 8];
+        for kk in 0..d {
+            let yv = _mm256_loadu_pd(yct.add(4 * kk));
+            for (r, a) in acc.iter_mut().enumerate() {
+                let xv = _mm256_broadcast_sd(&*xr.add(r * d + kk));
+                *a = _mm256_fmadd_pd(xv, yv, *a);
+            }
+        }
+        for (r, a) in acc.iter().enumerate() {
+            _mm256_storeu_pd(out.as_mut_ptr().add(4 * r), *a);
+        }
+    }
+
+    /// The GSKS multi-RHS contraction kernel: `W[r, 0..nrhs] +=
+    /// tile[r, c] * ut[c, 0..nrhs]` vectorized 4-wide over the RHS index.
+    /// Each 4-wide RHS block loads the four `ut` rows once and reuses them
+    /// across all eight tile rows. See [`super::gsks_contract_8x4`].
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `ut` must hold `4 * nrhs` and `w` `8 * nrhs`
+    /// elements (checked by the safe caller).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gsks_contract_avx2(tile: &[f64; 32], ut: *const f64, nrhs: usize, w: *mut f64) {
+        let mut t = 0;
+        while t + 4 <= nrhs {
+            let u0 = _mm256_loadu_pd(ut.add(t));
+            let u1 = _mm256_loadu_pd(ut.add(nrhs + t));
+            let u2 = _mm256_loadu_pd(ut.add(2 * nrhs + t));
+            let u3 = _mm256_loadu_pd(ut.add(3 * nrhs + t));
+            for r in 0..8 {
+                let wp = w.add(r * nrhs + t);
+                let mut acc = _mm256_loadu_pd(wp);
+                acc = _mm256_fmadd_pd(_mm256_broadcast_sd(&tile[4 * r]), u0, acc);
+                acc = _mm256_fmadd_pd(_mm256_broadcast_sd(&tile[4 * r + 1]), u1, acc);
+                acc = _mm256_fmadd_pd(_mm256_broadcast_sd(&tile[4 * r + 2]), u2, acc);
+                acc = _mm256_fmadd_pd(_mm256_broadcast_sd(&tile[4 * r + 3]), u3, acc);
+                _mm256_storeu_pd(wp, acc);
+            }
+            t += 4;
+        }
+        while t < nrhs {
+            for r in 0..8 {
+                let mut s = *w.add(r * nrhs + t);
+                s = tile[4 * r].mul_add(*ut.add(t), s);
+                s = tile[4 * r + 1].mul_add(*ut.add(nrhs + t), s);
+                s = tile[4 * r + 2].mul_add(*ut.add(2 * nrhs + t), s);
+                s = tile[4 * r + 3].mul_add(*ut.add(3 * nrhs + t), s);
+                *w.add(r * nrhs + t) = s;
+            }
+            t += 1;
+        }
+    }
+
+    /// Vector dot product with four independent FMA accumulators.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA. `x` and `y` must have equal lengths (checked by
+    /// the safe caller in `blas1`).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_avx2(x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let (xp, yp) = (x.as_ptr(), y.as_ptr());
+        let mut a0 = _mm256_setzero_pd();
+        let mut a1 = _mm256_setzero_pd();
+        let mut a2 = _mm256_setzero_pd();
+        let mut a3 = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 16 <= n {
+            a0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), a0);
+            a1 =
+                _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i + 4)), _mm256_loadu_pd(yp.add(i + 4)), a1);
+            a2 =
+                _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i + 8)), _mm256_loadu_pd(yp.add(i + 8)), a2);
+            a3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(xp.add(i + 12)),
+                _mm256_loadu_pd(yp.add(i + 12)),
+                a3,
+            );
+            i += 16;
+        }
+        while i + 4 <= n {
+            a0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)), a0);
+            i += 4;
+        }
+        let t = _mm256_add_pd(_mm256_add_pd(a0, a1), _mm256_add_pd(a2, a3));
+        let lo = _mm256_castpd256_pd128(t);
+        let hi = _mm256_extractf128_pd(t, 1);
+        let q = _mm_add_pd(lo, hi);
+        let mut s = _mm_cvtsd_f64(_mm_add_sd(q, _mm_unpackhi_pd(q, q)));
+        while i < n {
+            s += *xp.add(i) * *yp.add(i);
+            i += 1;
+        }
+        s
+    }
+
+    /// `y += alpha * x` with FMA.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA. Lengths must match (checked by the safe caller).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let va = _mm256_set1_pd(alpha);
+        let mut i = 0;
+        while i + 8 <= n {
+            let y0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            let y1 =
+                _mm256_fmadd_pd(va, _mm256_loadu_pd(xp.add(i + 4)), _mm256_loadu_pd(yp.add(i + 4)));
+            _mm256_storeu_pd(yp.add(i), y0);
+            _mm256_storeu_pd(yp.add(i + 4), y1);
+            i += 8;
+        }
+        while i + 4 <= n {
+            let y0 = _mm256_fmadd_pd(va, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            _mm256_storeu_pd(yp.add(i), y0);
+            i += 4;
+        }
+        while i < n {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    /// `y += alpha * A * x` for column-major `A` (`m x n`, stride `lda`),
+    /// blocked four columns at a time so each load of `y` amortizes four
+    /// column FMAs.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA. `a` must expose `lda*(n-1)+m` elements, `x` at
+    /// least `n`, `y` at least `m`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dgemv_add_avx2(
+        m: usize,
+        n: usize,
+        alpha: f64,
+        a: *const f64,
+        lda: usize,
+        x: *const f64,
+        y: *mut f64,
+    ) {
+        let mut j = 0;
+        while j + 4 <= n {
+            let x0 = _mm256_set1_pd(alpha * *x.add(j));
+            let x1 = _mm256_set1_pd(alpha * *x.add(j + 1));
+            let x2 = _mm256_set1_pd(alpha * *x.add(j + 2));
+            let x3 = _mm256_set1_pd(alpha * *x.add(j + 3));
+            let c0 = a.add(j * lda);
+            let c1 = a.add((j + 1) * lda);
+            let c2 = a.add((j + 2) * lda);
+            let c3 = a.add((j + 3) * lda);
+            let mut i = 0;
+            while i + 4 <= m {
+                let mut v = _mm256_loadu_pd(y.add(i));
+                v = _mm256_fmadd_pd(_mm256_loadu_pd(c0.add(i)), x0, v);
+                v = _mm256_fmadd_pd(_mm256_loadu_pd(c1.add(i)), x1, v);
+                v = _mm256_fmadd_pd(_mm256_loadu_pd(c2.add(i)), x2, v);
+                v = _mm256_fmadd_pd(_mm256_loadu_pd(c3.add(i)), x3, v);
+                _mm256_storeu_pd(y.add(i), v);
+                i += 4;
+            }
+            while i < m {
+                *y.add(i) += _mm256_cvtsd_f64(x0) * *c0.add(i)
+                    + _mm256_cvtsd_f64(x1) * *c1.add(i)
+                    + _mm256_cvtsd_f64(x2) * *c2.add(i)
+                    + _mm256_cvtsd_f64(x3) * *c3.add(i);
+                i += 1;
+            }
+            j += 4;
+        }
+        while j < n {
+            let xa = alpha * *x.add(j);
+            let va = _mm256_set1_pd(xa);
+            let col = a.add(j * lda);
+            let mut i = 0;
+            while i + 4 <= m {
+                let v = _mm256_fmadd_pd(va, _mm256_loadu_pd(col.add(i)), _mm256_loadu_pd(y.add(i)));
+                _mm256_storeu_pd(y.add(i), v);
+                i += 4;
+            }
+            while i < m {
+                *y.add(i) += xa * *col.add(i);
+                i += 1;
+            }
+            j += 1;
+        }
+    }
+
+    /// In-place vectorized `exp` (see [`super::vexp`] for the contract).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn vexp_avx2(xs: &mut [f64]) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            _mm256_storeu_pd(p.add(i), exp4(_mm256_loadu_pd(p.add(i))));
+            i += 4;
+        }
+        if i < n {
+            let mut buf = [0.0f64; 4];
+            buf[..n - i].copy_from_slice(&xs[i..]);
+            _mm256_storeu_pd(buf.as_mut_ptr(), exp4(_mm256_loadu_pd(buf.as_ptr())));
+            xs[i..].copy_from_slice(&buf[..n - i]);
+        }
+    }
+
+    /// Largest input for which `exp` is finite.
+    const EXP_HI: f64 = 709.782712893384;
+    /// Smallest input for which `exp` is a normal double; below this the
+    /// kernel flushes to zero (absolute error < 2.5e-308).
+    const EXP_LO: f64 = -708.396418532264;
+    /// Cody–Waite split of ln 2 for the argument reduction.
+    const LN2_HI: f64 = 6.931471803691238e-1;
+    const LN2_LO: f64 = 1.9082149292705877e-10;
+    /// `1.5 * 2^52` — the round-to-int magic constant: for |n| < 2^51 the
+    /// low mantissa bits of `n + MAGIC` hold `n` as a two's-complement
+    /// integer.
+    const MAGIC: f64 = 6755399441055744.0;
+
+    /// 4-wide `exp`: round-to-nearest power-of-two argument reduction
+    /// `x = n ln2 + r`, |r| <= ln2/2, degree-13 Taylor polynomial (Horner,
+    /// truncation error < 1e-17 relative), and exponent reconstruction via
+    /// integer bit manipulation.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn exp4(x: __m256d) -> __m256d {
+        let n = _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_pd(x, _mm256_set1_pd(std::f64::consts::LOG2_E)),
+        );
+        let r = _mm256_fnmadd_pd(n, _mm256_set1_pd(LN2_HI), x);
+        let r = _mm256_fnmadd_pd(n, _mm256_set1_pd(LN2_LO), r);
+        // Taylor coefficients 1/k!, k = 13 down to 0.
+        let mut p = _mm256_set1_pd(1.6059043836821613e-10);
+        for c in [
+            2.08767569878681e-9,
+            2.505210838544172e-8,
+            2.755731922398589e-7,
+            2.755731922398589e-6,
+            2.48015873015873e-5,
+            1.984126984126984e-4,
+            1.388888888888889e-3,
+            8.333333333333333e-3,
+            4.1666666666666664e-2,
+            1.6666666666666666e-1,
+            0.5,
+            1.0,
+            1.0,
+        ] {
+            p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(c));
+        }
+        // 2^n in two steps, n = n1 + n2 with n1 ~ n/2: near the overflow
+        // end n reaches 1024 (e.g. x = 709.5: exp(x) finite but 2^1024 is
+        // not representable), so a single exponent insertion would saturate
+        // to inf early. Each half stays comfortably inside the exponent
+        // range. Bit trick per half: bits(ni + MAGIC) - bits(MAGIC) == ni.
+        let magic_bits = MAGIC.to_bits() as i64;
+        let n1 = _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_pd(n, _mm256_set1_pd(0.5)),
+        );
+        let n2 = _mm256_sub_pd(n, n1);
+        let pow2_half = |ni: __m256d| {
+            let nb = _mm256_castpd_si256(_mm256_add_pd(ni, _mm256_set1_pd(MAGIC)));
+            let expo = _mm256_add_epi64(nb, _mm256_set1_epi64x(1023 - magic_bits));
+            _mm256_castsi256_pd(_mm256_slli_epi64::<52>(expo))
+        };
+        let res = _mm256_mul_pd(_mm256_mul_pd(p, pow2_half(n1)), pow2_half(n2));
+        // Range ends and NaN: flush deep-negative to 0, saturate to +inf,
+        // propagate NaN (applied last so it wins).
+        let res = _mm256_blendv_pd(
+            res,
+            _mm256_setzero_pd(),
+            _mm256_cmp_pd::<_CMP_LT_OQ>(x, _mm256_set1_pd(EXP_LO)),
+        );
+        let res = _mm256_blendv_pd(
+            res,
+            _mm256_set1_pd(f64::INFINITY),
+            _mm256_cmp_pd::<_CMP_GT_OQ>(x, _mm256_set1_pd(EXP_HI)),
+        );
+        _mm256_blendv_pd(res, x, _mm256_cmp_pd::<_CMP_UNORD_Q>(x, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_flags() {
+        // The override wins over the default/env; cpu_supported is fixed.
+        let before = active();
+        set_simd_enabled(false);
+        assert!(!active());
+        set_simd_enabled(true);
+        assert_eq!(active(), cpu_supported());
+        set_simd_enabled(before || cpu_supported());
+        let feats = detected_features();
+        assert!(!feats.is_empty());
+    }
+
+    #[test]
+    fn vexp_matches_std_exp() {
+        // Deterministic sweep over the argument ranges the kernels produce
+        // (Gaussian: non-positive; general: both signs), plus tile-odd
+        // lengths to exercise the masked tail.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut xs: Vec<f64> = (0..1021)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 1400.0 - 700.0
+            })
+            .collect();
+        let want: Vec<f64> = xs.iter().map(|v| v.exp()).collect();
+        vexp(&mut xs);
+        for (i, (got, want)) in xs.iter().zip(&want).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-14 * want.abs(),
+                "element {i}: {got} vs {want} (rel {})",
+                (got - want).abs() / want.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn vexp_special_values() {
+        let mut xs = [0.0, f64::NEG_INFINITY, f64::INFINITY, f64::NAN, -1000.0, 1000.0, -710.0];
+        vexp(&mut xs);
+        assert_eq!(xs[0], 1.0);
+        assert_eq!(xs[1], 0.0);
+        assert_eq!(xs[2], f64::INFINITY);
+        assert!(xs[3].is_nan());
+        assert_eq!(xs[4], 0.0);
+        assert_eq!(xs[5], f64::INFINITY);
+        // Subnormal range flushes to zero in the vector path; scalar path
+        // returns the subnormal. Either way the absolute error is tiny.
+        assert!(xs[6].abs() < 2.5e-308);
+    }
+
+    #[test]
+    fn gsks_tile_matches_naive_both_paths() {
+        for d in [1usize, 2, 3, 7, 16] {
+            let xr: Vec<f64> =
+                (0..GSKS_MR * d).map(|i| ((i * 13 % 29) as f64) * 0.3 - 2.0).collect();
+            // Dimension-major packed sources.
+            let ys: Vec<Vec<f64>> = (0..GSKS_NR)
+                .map(|c| (0..d).map(|k| ((c * 7 + k * 3) % 11) as f64 * 0.5 - 1.0).collect())
+                .collect();
+            let mut yct = vec![0.0; GSKS_NR * d];
+            for (c, y) in ys.iter().enumerate() {
+                for (k, &v) in y.iter().enumerate() {
+                    yct[k * GSKS_NR + c] = v;
+                }
+            }
+            let mut out = [0.0f64; GSKS_MR * GSKS_NR];
+            gsks_tile_8x4(&xr, &yct, d, &mut out);
+            for r in 0..GSKS_MR {
+                for c in 0..GSKS_NR {
+                    let want: f64 = (0..d).map(|k| xr[r * d + k] * ys[c][k]).sum();
+                    assert!(
+                        (out[r * GSKS_NR + c] - want).abs() < 1e-12 * (1.0 + want.abs()),
+                        "d={d} ({r},{c}): {} vs {want}",
+                        out[r * GSKS_NR + c]
+                    );
+                }
+            }
+        }
+    }
+}

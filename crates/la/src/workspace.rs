@@ -15,12 +15,16 @@
 //!   are lock-free. A buffer taken on one thread and dropped on another
 //!   simply migrates pools; no cross-thread traffic is required because
 //!   the rayon workers that run the hot loops are long-lived.
-//! * **Initialized storage only**: pooled buffers are created with
-//!   `vec![0.0; class]` and always kept logically initialized. A take
-//!   truncates to the requested length (no memset on a pool hit); a return
-//!   restores the full class length with `set_len`, which is sound because
-//!   every element up to the class capacity was initialized at creation
-//!   and `f64` is `Copy` (truncation never drops or deallocates).
+//! * **Initialized storage only**: a pool miss reserves the full class
+//!   capacity but memsets only the requested prefix; the first return
+//!   zero-extends to the class length once, after which buffers cycle
+//!   through the pool fully initialized. A take truncates to the requested
+//!   length (no memset on a pool hit); a return restores the class length
+//!   with `set_len`, which is sound because those elements were initialized
+//!   when the buffer was filed and `f64` is `Copy` (truncation never drops
+//!   or deallocates). Buffers are filed by the floor class of their
+//!   *capacity*, so detached buffers with odd lengths return to the class
+//!   they were taken from.
 //! * **Stale contents by default**: [`take`] returns a buffer with
 //!   arbitrary (previous-use) contents, which suits consumers that fully
 //!   overwrite it (GEMM packing, GSKS pads). [`take_zeroed`] zero-fills
@@ -93,14 +97,19 @@ fn class_for_request(len: usize) -> Option<usize> {
     }
 }
 
-/// Floor class for a buffer with `init_len` initialized elements
-/// (`class_len <= init_len`), or `None` if it should not be retained.
+/// Floor class for a buffer whose allocation holds `cap` elements
+/// (`class_len <= cap`), or `None` if it should not be retained.
+///
+/// Filing by **capacity** (not by initialized length) is what lets a
+/// buffer taken for a ceil-class request and returned through
+/// `detach()`/[`give_vec`] with a non-power-of-two length land back in
+/// the class it was allocated for, so the next identical request hits.
 #[inline]
-fn class_for_buffer(init_len: usize) -> Option<usize> {
-    if init_len < (1usize << MIN_CLASS_LOG2) {
+fn class_for_buffer(cap: usize) -> Option<usize> {
+    if cap < (1usize << MIN_CLASS_LOG2) {
         return None;
     }
-    let bits = usize::BITS - 1 - init_len.leading_zeros();
+    let bits = usize::BITS - 1 - cap.leading_zeros();
     if bits > MAX_CLASS_LOG2 {
         None // do not hoard giant buffers
     } else {
@@ -137,10 +146,14 @@ fn take_raw(len: usize) -> (Vec<f64>, usize) {
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
-            let cl = class_len(class);
-            let mut buf = vec![0.0; cl];
-            buf.truncate(len);
-            (buf, cl)
+            // Reserve the full class capacity but initialize (memset) only
+            // the requested prefix; the first return zero-extends to the
+            // class length once, after which the buffer cycles through the
+            // pool with no memset at all. (The previous `vec![0.0; cl]`
+            // memset up to 2x the request on every miss.)
+            let mut buf = Vec::with_capacity(class_len(class));
+            buf.resize(len, 0.0);
+            (buf, len)
         }
     }
 }
@@ -158,29 +171,47 @@ fn push_to_pool(class: usize, buf: Vec<f64>) {
     });
 }
 
-/// Return path from `WsVec::drop`: `init_len` elements of `buf` were
-/// initialized when the buffer was taken (recorded by [`take_raw`]).
-fn give_raw_pooled(mut buf: Vec<f64>, init_len: usize) {
-    let Some(class) = class_for_buffer(init_len) else {
+/// Common return path: files `buf` into the pool under the floor class of
+/// its **capacity**, stored at exactly the class length. `init_len`
+/// elements of the allocation are initialized (caller contract); if the
+/// class length exceeds that, the gap is zero-extended once, after which
+/// the buffer cycles through take/return with no initialization work.
+///
+/// Filing by capacity rather than initialized length matters: a buffer
+/// taken for a ceil-class request and detached with a non-power-of-two
+/// length used to be filed one class *down* on return, so the next
+/// identical request always missed — the pooled `matmul` regression seen
+/// in `BENCH_factor.json` (`fig4_left_normal64d_n8192`, 0.55x with the
+/// pool on).
+fn file_buffer(mut buf: Vec<f64>, init_len: usize) {
+    if !enabled() {
+        return;
+    }
+    let Some(class) = class_for_buffer(buf.capacity()) else {
         return;
     };
+    let cl = class_len(class);
     debug_assert!(init_len <= buf.capacity());
     // SAFETY: the first `init_len` elements of this allocation were
-    // initialized when the buffer was taken; the guard only ever truncated
-    // (never reallocated, since WsVec exposes no growth API), and `f64` is
-    // Copy, so truncation left them intact.
+    // initialized by the taker (resize or full overwrite); the guards only
+    // ever truncate (never reallocate, since WsVec exposes no growth API),
+    // and `f64` is Copy, so they are intact.
     unsafe { buf.set_len(init_len) };
+    if buf.len() < cl {
+        buf.resize(cl, 0.0);
+    } else {
+        buf.truncate(cl);
+    }
     push_to_pool(class, buf);
 }
 
 /// Returns a foreign buffer (e.g. a temporary [`Mat`]'s storage) to the
 /// current thread's pool. Safe for any vec: only the `len` initialized
-/// elements are trusted, and the buffer is filed under the largest class
-/// that fits inside them.
+/// elements are trusted (the rest is re-zeroed while filing), and the
+/// buffer is filed under the class its allocation actually fits.
 pub fn give_vec(buf: Vec<f64>) {
-    if let Some(class) = class_for_buffer(buf.len()) {
-        push_to_pool(class, buf);
-    }
+    let len = buf.len();
+    file_buffer(buf, len);
 }
 
 /// A pooled scratch buffer; returns itself to the pool on drop.
@@ -209,7 +240,7 @@ impl Drop for WsVec {
         // After detach() the guard holds an empty vec (capacity 0), which
         // must not be "restored" to init_len.
         if self.init_len > 0 && buf.capacity() >= self.init_len {
-            give_raw_pooled(buf, self.init_len);
+            file_buffer(buf, self.init_len);
         }
     }
 }
@@ -402,6 +433,23 @@ mod tests {
         // Dropping it must not poison the pool.
         drop(w);
         let _ = take(32);
+    }
+
+    #[test]
+    fn detached_roundtrip_hits_same_class() {
+        // Regression test for the pooled `matmul` slowdown: take → detach →
+        // give_vec with a non-power-of-two length must file the buffer back
+        // under the class it was taken from (by capacity), so the same
+        // request hits instead of missing forever.
+        let len = 300; // ceil class 512; floor class of the *length* is 256
+        let v = take(len).detach();
+        assert!(v.capacity() >= 512);
+        give_vec(v);
+        let (h0, _) = stats();
+        let w = take(len);
+        let (h1, _) = stats();
+        assert!(h1 > h0, "detached buffer must be reusable for the same request");
+        drop(w);
     }
 
     #[test]

@@ -18,6 +18,55 @@ fn poison_pool() {
     }
 }
 
+/// RAII guard: forces the SIMD kill-switch off for a scalar reference run
+/// and restores the prior state on drop (including on panic). Must be used
+/// while holding [`POOL_TOGGLE`]: the pool-bitwise tests assume the SIMD
+/// mode does not flip between their paired runs.
+struct SimdOff {
+    was_active: bool,
+}
+
+impl SimdOff {
+    fn new() -> Self {
+        let was_active = kfds_la::simd::active();
+        kfds_la::simd::set_simd_enabled(false);
+        SimdOff { was_active }
+    }
+}
+
+impl Drop for SimdOff {
+    fn drop(&mut self) {
+        kfds_la::simd::set_simd_enabled(self.was_active);
+    }
+}
+
+/// Runs `gemm` with the SIMD microkernels and with the scalar fallback and
+/// asserts agreement within the reassociation/FMA tolerance documented in
+/// `kfds_la::simd` (`O(k · eps)` relative to the accumulated magnitude).
+fn assert_gemm_simd_vs_scalar(m: usize, k: usize, n: usize, ta: Trans, tb: Trans, seed: u64) {
+    let (ar, ac) = if matches!(ta, Trans::Yes) { (k, m) } else { (m, k) };
+    let (br, bc) = if matches!(tb, Trans::Yes) { (n, k) } else { (k, n) };
+    let a = Mat::from_fn(ar, ac, |i, j| (((i * 7 + j * 3) as u64 + seed) as f64 * 0.19).sin());
+    let b = Mat::from_fn(br, bc, |i, j| (((i * 5 + j * 11) as u64 + seed) as f64 * 0.23).cos());
+    let mut c_scalar = Mat::from_fn(m, n, |i, j| ((i + 2 * j) as f64 * 0.31).sin());
+    let mut c_simd = c_scalar.clone();
+    {
+        let _off = SimdOff::new();
+        gemm(1.25, a.rb(), ta, b.rb(), tb, 0.5, c_scalar.rb_mut());
+    }
+    gemm(1.25, a.rb(), ta, b.rb(), tb, 0.5, c_simd.rb_mut());
+    let tol = 1e-13 * (k as f64 + 2.0);
+    for j in 0..n {
+        for i in 0..m {
+            let (s, v) = (c_scalar[(i, j)], c_simd[(i, j)]);
+            assert!(
+                (s - v).abs() <= tol * (1.0 + s.abs()),
+                "({m},{k},{n}) {ta:?}/{tb:?} at ({i},{j}): simd {v} vs scalar {s}"
+            );
+        }
+    }
+}
+
 /// `alpha*op(A)op(B) + beta*C` twice — pool off then pool on (with a
 /// poisoned pool) — asserting bitwise-identical results.
 fn assert_gemm_pool_invariant(a: &Mat, ta: Trans, b: &Mat, tb: Trans, m: usize, n: usize) {
@@ -84,6 +133,130 @@ fn successive_pooled_shapes_do_not_alias() {
                     c[(i, j)]
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn simd_gemm_matches_scalar_edge_tiles() {
+    // Shapes straddling the 8x6 register tile: partial rows (m < MR),
+    // partial columns (n < NR), and the degenerate k in {0, 1} panels.
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (7, 0, 5),
+        (8, 1, 6),
+        (5, 3, 2),
+        (8, 6, 6),
+        (9, 7, 13),
+        (16, 5, 12),
+        (23, 37, 11),
+        (64, 16, 48),
+    ];
+    for &(m, k, n) in &shapes {
+        for ta in [Trans::No, Trans::Yes] {
+            for tb in [Trans::No, Trans::Yes] {
+                assert_gemm_simd_vs_scalar(m, k, n, ta, tb, 0xabc + m as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_gemm_matches_scalar_on_submatrix_views() {
+    // Strided views (col_stride > nrows) through the microkernel's ldc
+    // handling, writing into an interior window of a larger C.
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    let big_a = Mat::from_fn(40, 30, |i, j| ((i * 3 + j * 7) as f64 * 0.11).sin());
+    let big_b = Mat::from_fn(30, 25, |i, j| ((i * 5 + j) as f64 * 0.17).cos());
+    let (m, k, n) = (21, 19, 13);
+    let a = big_a.submatrix(4..4 + m, 6..6 + k);
+    let b = big_b.submatrix(2..2 + k, 9..9 + n);
+    let mut c_scalar = Mat::from_fn(33, 29, |i, j| ((i + j) as f64 * 0.05).sin());
+    let mut c_simd = c_scalar.clone();
+    {
+        let _off = SimdOff::new();
+        gemm(
+            2.0,
+            a,
+            Trans::No,
+            b,
+            Trans::No,
+            1.0,
+            c_scalar.rb_mut().submatrix_mut(5..5 + m, 3..3 + n),
+        );
+    }
+    gemm(2.0, a, Trans::No, b, Trans::No, 1.0, c_simd.rb_mut().submatrix_mut(5..5 + m, 3..3 + n));
+    let tol = 1e-13 * (k as f64 + 2.0);
+    for j in 0..29 {
+        for i in 0..33 {
+            let (s, v) = (c_scalar[(i, j)], c_simd[(i, j)]);
+            let inside = (5..5 + m).contains(&i) && (3..3 + n).contains(&j);
+            if inside {
+                assert!((s - v).abs() <= tol * (1.0 + s.abs()), "({i},{j}): {v} vs {s}");
+            } else {
+                // Outside the target window both runs must leave C untouched.
+                assert_eq!(s.to_bits(), v.to_bits(), "({i},{j}) clobbered outside the view");
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_blas_matches_scalar() {
+    let _guard = POOL_TOGGLE.lock().unwrap();
+    for &n in &[1usize, 2, 3, 4, 7, 8, 9, 15, 16, 17, 31, 100, 1023] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+        let tol = 1e-13 * (n as f64 + 2.0);
+
+        let d_simd = kfds_la::blas1::dot(&x, &y);
+        let mut ax_simd = y.clone();
+        kfds_la::blas1::axpy(0.75, &x, &mut ax_simd);
+        let (d_scalar, ax_scalar) = {
+            let _off = SimdOff::new();
+            let d = kfds_la::blas1::dot(&x, &y);
+            let mut ax = y.clone();
+            kfds_la::blas1::axpy(0.75, &x, &mut ax);
+            (d, ax)
+        };
+        assert!((d_simd - d_scalar).abs() <= tol * (1.0 + d_scalar.abs()), "dot n={n}");
+        for i in 0..n {
+            assert!(
+                (ax_simd[i] - ax_scalar[i]).abs() <= tol * (1.0 + ax_scalar[i].abs()),
+                "axpy n={n} i={i}"
+            );
+        }
+    }
+    for &(m, n) in &[(1usize, 1usize), (3, 5), (4, 4), (5, 3), (17, 9), (64, 33), (128, 1)] {
+        let a = Mat::from_fn(m, n, |i, j| ((i * 3 + j * 5) as f64 * 0.21).sin());
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.43).cos()).collect();
+        let xt: Vec<f64> = (0..m).map(|i| (i as f64 * 0.29).sin()).collect();
+        let tol = 1e-13 * (m.max(n) as f64 + 2.0);
+
+        let mut y_simd = vec![0.5; m];
+        kfds_la::blas2::gemv(1.5, a.rb(), &x, 0.25, &mut y_simd);
+        let mut yt_simd = vec![0.5; n];
+        kfds_la::blas2::gemv_t(1.5, a.rb(), &xt, 0.25, &mut yt_simd);
+        let (y_scalar, yt_scalar) = {
+            let _off = SimdOff::new();
+            let mut y = vec![0.5; m];
+            kfds_la::blas2::gemv(1.5, a.rb(), &x, 0.25, &mut y);
+            let mut yt = vec![0.5; n];
+            kfds_la::blas2::gemv_t(1.5, a.rb(), &xt, 0.25, &mut yt);
+            (y, yt)
+        };
+        for i in 0..m {
+            assert!(
+                (y_simd[i] - y_scalar[i]).abs() <= tol * (1.0 + y_scalar[i].abs()),
+                "gemv ({m},{n}) row {i}"
+            );
+        }
+        for j in 0..n {
+            assert!(
+                (yt_simd[j] - yt_scalar[j]).abs() <= tol * (1.0 + yt_scalar[j].abs()),
+                "gemv_t ({m},{n}) row {j}"
+            );
         }
     }
 }
@@ -190,6 +363,31 @@ proptest! {
         // Transposed operands exercise the other packing loops.
         let at = a.transpose();
         assert_gemm_pool_invariant(&at, Trans::Yes, &b, Trans::No, m, n);
+    }
+
+    #[test]
+    fn simd_gemm_matches_scalar_random_shapes(m in 1usize..28, k in 0usize..24, n in 1usize..20, seed in 0u64..1000) {
+        let _guard = POOL_TOGGLE.lock().unwrap();
+        assert_gemm_simd_vs_scalar(m, k, n, Trans::No, Trans::No, seed);
+        assert_gemm_simd_vs_scalar(m, k, n, Trans::Yes, Trans::No, seed);
+    }
+
+    #[test]
+    fn simd_vexp_matches_libm(xs in proptest::collection::vec(-750.0f64..750.0, 0..64)) {
+        let _guard = POOL_TOGGLE.lock().unwrap();
+        let mut got = xs.clone();
+        kfds_la::simd::vexp(&mut got);
+        for (x, g) in xs.iter().zip(&got) {
+            let want = x.exp();
+            if want.is_infinite() {
+                prop_assert!(g.is_infinite() && *g > 0.0, "exp({x}): {g} vs inf");
+            } else {
+                prop_assert!(
+                    (g - want).abs() <= 1e-14 * (1.0 + want.abs()),
+                    "exp({x}): {g} vs {want}"
+                );
+            }
+        }
     }
 
     #[test]
