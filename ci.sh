@@ -37,4 +37,13 @@ else
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check
 fi
 
+echo "== kfds-serve smoke =="
+# Stands up the batched solve service under closed-loop load and asserts a
+# clean run: zero errors, every request answered, cache hit rate > 0.
+if [[ $fast -eq 0 ]]; then
+  cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --n 1024 --keys 2 --clients 8 --requests 64
+else
+  cargo run -q -p kfds-serve --bin kfds-serve -- --smoke --n 512 --keys 2 --clients 4 --requests 32
+fi
+
 echo "CI OK"

@@ -22,7 +22,7 @@
 
 use kfds_bench::{arg_f64, build_skeleton_tree, scaled_bandwidth, standin, test_vec, timed};
 use kfds_core::{factorize, SolverConfig};
-use kfds_la::{simd, workspace};
+use kfds_la::{simd, workspace, Mat};
 use kfds_tree::datasets::normal_embedded;
 use kfds_tree::PointSet;
 
@@ -44,6 +44,8 @@ struct Run {
     simd: bool,
     t_factor_s: f64,
     t_solve_s: f64,
+    t_solve16_s: f64,
+    solve16_rhs_per_s: f64,
     flops: f64,
     gflops: f64,
     pool_hits: u64,
@@ -83,6 +85,7 @@ fn main() {
                 let (h0, m0) = workspace::stats();
                 let mut t_factor = f64::INFINITY;
                 let mut t_solve = f64::INFINITY;
+                let mut t_solve16 = f64::INFINITY;
                 let mut flops = 0.0;
                 for _ in 0..REPS {
                     let (ft, tf) =
@@ -90,8 +93,17 @@ fn main() {
                     let mut x = test_vec(n, 42);
                     let (_, ts) =
                         pool_handle.install(|| timed(|| ft.solve_in_place(&mut x).expect("solve")));
+                    // Blocked multi-RHS solve: the serving-path amortization
+                    // (one factor traversal, 16 columns, GEMM-shaped work).
+                    let mut xm = Mat::zeros(n, 16);
+                    for j in 0..16 {
+                        xm.col_mut(j).copy_from_slice(&test_vec(n, 42 + j as u64));
+                    }
+                    let (_, ts16) = pool_handle
+                        .install(|| timed(|| ft.solve_mat_in_place(&mut xm).expect("solve16")));
                     t_factor = t_factor.min(tf);
                     t_solve = t_solve.min(ts);
+                    t_solve16 = t_solve16.min(ts16);
                     flops = ft.stats().flops;
                 }
                 let (h1, m1) = workspace::stats();
@@ -103,6 +115,8 @@ fn main() {
                     simd: simd_on,
                     t_factor_s: t_factor,
                     t_solve_s: t_solve,
+                    t_solve16_s: t_solve16,
+                    solve16_rhs_per_s: 16.0 / t_solve16,
                     flops,
                     gflops: flops / t_factor / 1e9,
                     pool_hits: (h1 - h0) / REPS as u64,
@@ -111,8 +125,8 @@ fn main() {
                 });
                 let r = runs.last().expect("just pushed");
                 eprintln!(
-                    "  threads={threads} pool={pool} simd={simd_on}: factor {:.3}s ({:.2} GFLOP/s), solve {:.4}s, hits/misses {}/{}",
-                    r.t_factor_s, r.gflops, r.t_solve_s, r.pool_hits, r.pool_misses
+                    "  threads={threads} pool={pool} simd={simd_on}: factor {:.3}s ({:.2} GFLOP/s), solve {:.4}s, solve16 {:.4}s ({:.0} rhs/s), hits/misses {}/{}",
+                    r.t_factor_s, r.gflops, r.t_solve_s, r.t_solve16_s, r.solve16_rhs_per_s, r.pool_hits, r.pool_misses
                 );
             }
         }
@@ -201,7 +215,7 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kfds-perf-trajectory-v2\",\n");
+    s.push_str("  \"schema\": \"kfds-perf-trajectory-v3\",\n");
     s.push_str(
         "  \"generated_by\": \"cargo run --release -p kfds-bench --bin perf_trajectory\",\n",
     );
@@ -209,11 +223,11 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     s.push_str(&format!("  \"host_cpus\": {cpus},\n"));
     s.push_str(&format!("  \"host_simd\": \"{}\",\n", simd::detected_features()));
     s.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
-    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise). simd_speedup compares (pool on, simd off) vs (pool on, simd on); pool_speedup compares pool off vs on at simd on. Timings are best-of-3. The container exposes a single physical CPU, so multi-thread rows exercise the parallel code paths (row-split tall-skinny GEMM, per-level node parallelism) under time-slicing and cannot show wall-clock speedup; the >=1.3x multi-thread factorization target requires >=4 physical cores to manifest.\",\n");
+    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise). simd_speedup compares (pool on, simd off) vs (pool on, simd on); pool_speedup compares pool off vs on at simd on. Timings are best-of-3. The container exposes a single physical CPU, so multi-thread rows exercise the parallel code paths (row-split tall-skinny GEMM, per-level node parallelism) under time-slicing and cannot show wall-clock speedup; the >=1.3x multi-thread factorization target requires >=4 physical cores to manifest. v3 adds the blocked 16-RHS solve (t_solve16_s, solve16_rhs_per_s); batch16_solve_amortization in the summary is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves.\",\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
             r.label,
             r.n,
             r.threads,
@@ -221,6 +235,8 @@ fn render_json(runs: &[Run], scale: f64) -> String {
             r.simd,
             r.t_factor_s,
             r.t_solve_s,
+            r.t_solve16_s,
+            r.solve16_rhs_per_s,
             r.flops,
             r.gflops,
             r.pool_hits,
@@ -253,6 +269,12 @@ fn render_json(runs: &[Run], scale: f64) -> String {
                 scalar.t_factor_s / r.t_factor_s
             ));
         }
+        lines.push(format!(
+            "    \"{}_t{}_batch16_solve_amortization\": {:.4}",
+            r.label,
+            r.threads,
+            (16.0 * r.t_solve_s) / r.t_solve16_s
+        ));
     }
     // Steady-state allocation behavior: with the pool on, hit rate of the
     // measured (post-warm-up) passes.

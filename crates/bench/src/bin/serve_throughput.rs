@@ -1,0 +1,157 @@
+//! **Serve throughput** — closed-loop load against [`kfds_serve`]'s
+//! batching solve service, sweeping the maximum batch size. Committed at
+//! the repo root as `BENCH_solve.json` alongside `BENCH_factor.json`.
+//!
+//! The factorization is built once up front and the service's builder
+//! hands out clones, so the sweep isolates pure serving behavior: how
+//! much throughput the adaptive coalescing buys by turning 16 queued
+//! single-RHS requests into one blocked 16-column solve. The paper's
+//! solve is `O(sN log N)` per RHS either way — the win measured here is
+//! constant-factor (one factor traversal amortized, GEMV → GEMM), which
+//! is exactly what a latency/throughput service trades in.
+//!
+//! ```sh
+//! cargo run --release -p kfds-bench --bin serve_throughput [-- --scale 2]
+//! # writes BENCH_solve.json in the current directory (run from repo root)
+//! ```
+
+use kfds_bench::{arg_f64, build_skeleton_tree, timed};
+use kfds_core::{SharedFactor, SolverConfig, StorageMode};
+use kfds_serve::{FactorKey, ServeConfig, ServeStats, SolveService};
+use kfds_tree::datasets::normal_embedded;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCH_SWEEP: [usize; 4] = [1, 4, 16, 64];
+const CLIENTS: usize = 64;
+const REQUESTS: usize = 512;
+
+struct SweepRun {
+    max_batch: usize,
+    elapsed_s: f64,
+    rps: f64,
+    stats: ServeStats,
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 1.0);
+    let n = (4096.0 * scale) as usize;
+    let points = normal_embedded(n, 6, 64, 0.1, 17);
+    let h = 4.0;
+    let (st, kernel, _) = build_skeleton_tree(&points, h, 128, 0.0, 64, 1);
+    let cfg = SolverConfig::default().with_lambda(1.0).with_storage(StorageMode::StoredGemv);
+    eprintln!("== factorizing once (N = {n}, StoredGemv) ==");
+    let factor = SharedFactor::factorize(Arc::new(st), Arc::new(kernel), cfg).expect("factorize");
+    let key = FactorKey::new("normal64d", n, h, 1.0, 17);
+
+    let mut runs = Vec::new();
+    for &max_batch in &BATCH_SWEEP {
+        let f = factor.clone();
+        let svc = Arc::new(SolveService::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(max_batch)
+                .with_high_water(4 * CLIENTS)
+                .with_default_timeout(Duration::from_secs(120)),
+            move |_key: &FactorKey| Ok(f.clone()),
+        ));
+        // Warm-up: prime the cache and the workspace pools.
+        for r in 0..8 {
+            let t = svc.submit(key.clone(), rhs(n, r)).expect("warmup submit");
+            t.wait().expect("warmup solve");
+        }
+
+        let per_client = REQUESTS.div_ceil(CLIENTS);
+        let svc_run = Arc::clone(&svc);
+        let key_run = key.clone();
+        let (served, elapsed_s) = timed(move || {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let svc = Arc::clone(&svc_run);
+                    let key = key_run.clone();
+                    std::thread::spawn(move || {
+                        // Closed loop: one outstanding request per client.
+                        for r in 0..per_client {
+                            let t = svc.submit(key.clone(), rhs(n, c * 31 + r)).expect("submit");
+                            t.wait().expect("solve");
+                        }
+                        per_client
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client")).sum::<usize>()
+        });
+        let stats = svc.stats();
+        let rps = served as f64 / elapsed_s;
+        eprintln!(
+            "  max_batch={max_batch}: {served} requests in {elapsed_s:.2}s = {rps:.1} rps \
+             (mean batch {:.2}, p50 {:.0}us, p99 {:.0}us)",
+            stats.mean_batch, stats.total.p50_us, stats.total.p99_us
+        );
+        runs.push(SweepRun { max_batch, elapsed_s, rps, stats });
+    }
+
+    let json = render_json(&runs, n, scale);
+    std::fs::write("BENCH_solve.json", &json).expect("write BENCH_solve.json");
+    eprintln!("wrote BENCH_solve.json ({} sweep points)", runs.len());
+}
+
+fn rhs(n: usize, seed: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.5 + ((i * 13 + seed * 7) % 17) as f64 / 17.0).collect()
+}
+
+fn render_json(runs: &[SweepRun], n: usize, scale: f64) -> String {
+    let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"kfds-serve-throughput-v1\",\n");
+    s.push_str(
+        "  \"generated_by\": \"cargo run --release -p kfds-bench --bin serve_throughput\",\n",
+    );
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str(&format!("  \"n\": {n},\n"));
+    s.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    s.push_str(&format!("  \"requests\": {REQUESTS},\n"));
+    s.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    s.push_str("  \"note\": \"Closed-loop load (one outstanding request per client), 1 solve worker, factorization prebuilt and cached — the sweep isolates the multi-RHS coalescing win. Latencies are end-to-end (submit to response) in microseconds from log2-bucketed histograms; batch_hist is (batch_size, count).\",\n");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let hist: Vec<String> =
+            r.stats.batch_hist.iter().map(|(sz, c)| format!("[{sz}, {c}]")).collect();
+        s.push_str(&format!(
+            "    {{\"max_batch\": {}, \"requests\": {}, \"elapsed_s\": {:.4}, \"rps\": {:.1}, \"mean_batch\": {:.3}, \"batches\": {}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {}, \"solve_p50_us\": {:.1}, \"queue_p50_us\": {:.1}, \"cache_hit_rate\": {:.4}, \"batch_hist\": [{}]}}{}\n",
+            r.max_batch,
+            r.stats.completed,
+            r.elapsed_s,
+            r.rps,
+            r.stats.mean_batch,
+            r.stats.batches,
+            r.stats.total.p50_us,
+            r.stats.total.p90_us,
+            r.stats.total.p99_us,
+            r.stats.total.max_us,
+            r.stats.solve.p50_us,
+            r.stats.queue.p50_us,
+            r.stats.cache_hit_rate(),
+            hist.join(", "),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"summary\": {\n");
+    let rps_at = |b: usize| runs.iter().find(|r| r.max_batch == b).map(|r| r.rps);
+    let mut lines = Vec::new();
+    if let (Some(r1), Some(r16)) = (rps_at(1), rps_at(16)) {
+        lines.push(format!("    \"speedup_batch16_vs_batch1\": {:.4}", r16 / r1));
+    }
+    if let (Some(r1), Some(r64)) = (rps_at(1), rps_at(64)) {
+        lines.push(format!("    \"speedup_batch64_vs_batch1\": {:.4}", r64 / r1));
+    }
+    if let Some(best) = runs.iter().max_by(|a, b| a.rps.total_cmp(&b.rps)) {
+        lines.push(format!("    \"best_rps\": {:.1}", best.rps));
+        lines.push(format!("    \"best_rps_max_batch\": {}", best.max_batch));
+    }
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  }\n}\n");
+    s
+}

@@ -12,8 +12,9 @@
 
 use crate::error::SolverError;
 use crate::factor::FactorTree;
-use kfds_kernels::{sum_fused, Kernel};
+use kfds_kernels::{sum_fused, sum_fused_multi, Kernel};
 use kfds_krylov::{gmres, FnOp, GmresOptions, SolveResult};
+use kfds_la::{gemm, workspace, Mat, Trans};
 use rayon::prelude::*;
 
 /// A level-restricted hybrid solver built on a partial factorization.
@@ -222,6 +223,183 @@ impl<'a, 'f, K: Kernel> HybridSolver<'a, 'f, K> {
             *xi -= wi;
         }
         Ok(HybridOutcome { x, gmres: gm })
+    }
+
+    /// `D^{-1} U` for a multi-column right-hand side: blocked frontier
+    /// solves through [`SolveCtx::solve_node_mat`](crate::solve), so the
+    /// leaf LU / reduced-system applications run as GEMMs over all
+    /// columns at once.
+    fn apply_dinv_mat(&self, u: &mut Mat) {
+        let tree = self.ft.skeleton_tree().tree();
+        let ctx = self.ft.ctx();
+        let nrhs = u.ncols();
+        let solved: Vec<(usize, Mat)> = self
+            .frontier
+            .par_iter()
+            .map(|&f| {
+                let nd = tree.node(f);
+                let mut m = workspace::mat_from_view(u.submatrix(nd.begin..nd.end, 0..nrhs));
+                ctx.solve_node_mat(f, &mut m);
+                (f, m)
+            })
+            .collect();
+        for (f, m) in solved {
+            let nd = tree.node(f);
+            for j in 0..nrhs {
+                u.col_mut(j)[nd.begin..nd.end].copy_from_slice(m.col(j));
+            }
+            workspace::recycle_mat(m);
+        }
+    }
+
+    /// Multi-RHS `V` application: `Y_φ = K_{φ̃, X∖φ} X` for every frontier
+    /// node, as one fused multi-RHS summation per node instead of one
+    /// single-vector pass per column.
+    fn apply_v_mat(&self, x: &Mat) -> Mat {
+        let st = self.ft.skeleton_tree();
+        let tree = st.tree();
+        let pts = tree.points();
+        let kernel = self.ft.kernel();
+        let n = pts.len();
+        let nrhs = x.ncols();
+        let all: Vec<usize> = (0..n).collect();
+        let indexed: Vec<(usize, usize)> = self.frontier.iter().copied().enumerate().collect();
+        let segments: Vec<(usize, Mat)> = indexed
+            .into_par_iter()
+            .map(|(k, f)| {
+                let sk = st.skeleton(f).expect("frontier skeleton");
+                let s = sk.rank();
+                if s == 0 {
+                    return (k, Mat::zeros(0, nrhs));
+                }
+                let mut y = workspace::take_mat_detached(s, nrhs);
+                sum_fused_multi(kernel, pts, &sk.skeleton, &all, x.rb(), y.rb_mut());
+                let range: Vec<usize> = tree.node(f).range().collect();
+                let nd = tree.node(f);
+                let mut own = workspace::take_mat_detached(s, nrhs);
+                sum_fused_multi(
+                    kernel,
+                    pts,
+                    &sk.skeleton,
+                    &range,
+                    x.submatrix(nd.begin..nd.end, 0..nrhs),
+                    own.rb_mut(),
+                );
+                for j in 0..nrhs {
+                    for i in 0..s {
+                        y[(i, j)] -= own[(i, j)];
+                    }
+                }
+                workspace::recycle_mat(own);
+                (k, y)
+            })
+            .collect();
+        let mut by_index: Vec<Option<Mat>> = (0..self.frontier.len()).map(|_| None).collect();
+        for (k, seg) in segments {
+            by_index[k] = Some(seg);
+        }
+        let mut out = Mat::zeros(self.reduced_dim, nrhs);
+        for (k, seg) in by_index.into_iter().enumerate() {
+            let seg = seg.expect("every frontier segment computed");
+            let off = self.offsets[k];
+            for j in 0..nrhs {
+                out.col_mut(j)[off..off + seg.nrows()].copy_from_slice(seg.col(j));
+            }
+            workspace::recycle_mat(seg);
+        }
+        out
+    }
+
+    /// Multi-RHS `W` application: `out[φ] = P̂_φ Z_φ` per frontier node as
+    /// a GEMM over all columns.
+    fn apply_w_mat(&self, z: &Mat, out: &mut Mat) {
+        debug_assert_eq!(z.nrows(), self.reduced_dim);
+        let tree = self.ft.skeleton_tree().tree();
+        let nrhs = z.ncols();
+        let ctx = self.ft.ctx();
+        let indexed: Vec<(usize, usize)> = self.frontier.iter().copied().enumerate().collect();
+        let chunks: Vec<(usize, Mat)> = indexed
+            .into_par_iter()
+            .map(|(k, f)| {
+                let zk = workspace::mat_from_view(
+                    z.submatrix(self.offsets[k]..self.offsets[k + 1], 0..nrhs),
+                );
+                let chunk = if let Some(p_hat) = self.ft.factors()[f].p_hat.as_ref() {
+                    let mut c = workspace::take_mat_detached(tree.node(f).len(), nrhs);
+                    gemm(1.0, p_hat.rb(), Trans::No, zk.rb(), Trans::No, 0.0, c.rb_mut());
+                    c
+                } else {
+                    // Recompute-W mode: telescope P̂ through eq. (10).
+                    ctx.apply_p_hat_mat(f, &zk)
+                };
+                workspace::recycle_mat(zk);
+                (f, chunk)
+            })
+            .collect();
+        for (f, chunk) in chunks {
+            let nd = tree.node(f);
+            for j in 0..nrhs {
+                out.col_mut(j)[nd.begin..nd.end].copy_from_slice(chunk.col(j));
+            }
+            workspace::recycle_mat(chunk);
+        }
+    }
+
+    /// Solves `(λI + K̃) X = B` in place for a multi-column right-hand
+    /// side (`B` in permuted order) — the blocked form of Algorithm II.6.
+    ///
+    /// The frontier direct solves (`D^{-1}`), the reduced right-hand side
+    /// (`V`), and the final correction (`W`) run blocked over all columns
+    /// (GEMM-shaped); the reduced `(I + VW) z = y` systems are solved by
+    /// GMRES per column (the reduced dimension is `≈ 2^L s`, so this is
+    /// the cheap part). Returns one [`SolveResult`] per column.
+    ///
+    /// # Errors
+    /// Currently infallible after construction, but kept fallible to match
+    /// [`HybridSolver::solve`].
+    pub fn solve_mat_in_place(
+        &self,
+        b: &mut Mat,
+        opts: &GmresOptions,
+    ) -> Result<Vec<SolveResult>, SolverError> {
+        let n = self.ft.skeleton_tree().tree().points().len();
+        assert_eq!(b.nrows(), n, "hybrid solve: rhs rows mismatch");
+        let nrhs = b.ncols();
+        // V_mat = D^{-1} B, blocked over the frontier.
+        self.apply_dinv_mat(b);
+        if self.reduced_dim == 0 || nrhs == 0 {
+            let done =
+                SolveResult { x: vec![], converged: true, iters: 0, residual: 0.0, trace: vec![] };
+            return Ok((0..nrhs).map(|_| done.clone()).collect());
+        }
+        // Reduced right-hand sides Y = V D^{-1} B, one fused pass.
+        let y = self.apply_v_mat(b);
+        // (I + V W) z_j = y_j per column, matrix-free.
+        let op = FnOp::new(self.reduced_dim, |z: &[f64], out: &mut [f64]| {
+            let mut wz = vec![0.0; n];
+            self.apply_w(z, &mut wz);
+            let vwz = self.apply_v(&wz);
+            for i in 0..z.len() {
+                out[i] = z[i] + vwz[i];
+            }
+        });
+        let mut zmat = Mat::zeros(self.reduced_dim, nrhs);
+        let mut results = Vec::with_capacity(nrhs);
+        for j in 0..nrhs {
+            let gm = gmres(&op, y.col(j), None, opts);
+            zmat.col_mut(j).copy_from_slice(&gm.x);
+            results.push(gm);
+        }
+        // X = D^{-1} B − W Z, blocked.
+        let mut wz = Mat::zeros(n, nrhs);
+        self.apply_w_mat(&zmat, &mut wz);
+        for j in 0..nrhs {
+            let col = b.col_mut(j);
+            for (xi, wi) in col.iter_mut().zip(wz.col(j)) {
+                *xi -= wi;
+            }
+        }
+        Ok(results)
     }
 
     /// Convenience wrapper: right-hand side and solution in *original*

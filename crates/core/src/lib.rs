@@ -33,6 +33,7 @@ pub mod hybrid;
 pub mod leveldirect;
 pub mod precond;
 pub mod regression;
+pub mod share;
 pub mod solve;
 pub mod stability;
 pub mod taskparallel;
@@ -50,6 +51,7 @@ pub use hybrid::{HybridOutcome, HybridSolver};
 pub use leveldirect::LevelRestrictedDirect;
 pub use precond::{solve_exact_preconditioned, FactorPreconditioner};
 pub use regression::{KernelRidge, TrainReport};
+pub use share::SharedFactor;
 pub use stability::{estimate_condition, estimate_sigma1, ConditionEstimate};
 pub use taskparallel::factorize_taskparallel;
 

@@ -191,10 +191,16 @@ impl<K: Kernel> SolveCtx<'_, K> {
         for (yi, ci) in y.iter_mut().zip(c.iter()) {
             *yi -= ci;
         }
-        // W t = [P̂_l t_top ; P̂_r t_bot], recursively.
-        let mut out = self.apply_p_hat(l, &y[..sl]);
+        // W t = [P̂_l t_top ; P̂_r t_bot], recursively. The concatenation
+        // goes through a pooled take (an `extend_from_slice` would grow —
+        // and possibly reallocate — the pooled child buffer, leaking an
+        // unpooled allocation on the steady-state solve path).
+        let top = self.apply_p_hat(l, &y[..sl]);
         let bot = self.apply_p_hat(r, &y[sl..]);
-        out.extend_from_slice(&bot);
+        let mut out = workspace::take(top.len() + bot.len()).detach();
+        out[..top.len()].copy_from_slice(&top);
+        out[top.len()..].copy_from_slice(&bot);
+        workspace::give_vec(top);
         workspace::give_vec(bot);
         out
     }
@@ -257,7 +263,15 @@ impl<K: Kernel> SolveCtx<'_, K> {
         let bot = self.apply_p_hat_mat(r, &ybot);
         workspace::recycle_mat(ytop);
         workspace::recycle_mat(ybot);
-        let out = top.vcat(&bot);
+        // Stack the halves through a pooled take (`Mat::vcat` allocates
+        // fresh storage, which would be the one unpooled allocation per
+        // internal node on the steady-state multi-RHS solve path).
+        let (nt, nb) = (top.nrows(), bot.nrows());
+        let mut out = workspace::take_mat_detached(nt + nb, nrhs);
+        for j in 0..nrhs {
+            out.col_mut(j)[..nt].copy_from_slice(top.col(j));
+            out.col_mut(j)[nt..].copy_from_slice(bot.col(j));
+        }
         workspace::recycle_mat(top);
         workspace::recycle_mat(bot);
         out

@@ -59,3 +59,41 @@ fn steady_state_factor_solve_is_mostly_pool_hits() {
         "steady-state pool hit rate {hit_rate:.3} ({hits} hits / {misses} misses) below 0.80"
     );
 }
+
+#[test]
+fn steady_state_solve_path_is_mostly_pool_hits() {
+    let n = 1024;
+    let pts = normal_embedded(n, 3, 8, 0.05, 13);
+    let tree = BallTree::build(&pts, 64);
+    let kernel = Gaussian::new(1.0);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-5).with_max_rank(64).with_neighbors(8).with_max_level(1),
+    );
+    let cfg = SolverConfig::default().with_lambda(0.5);
+    let ft = factorize(&st, &kernel, cfg).expect("factorize");
+
+    // Warm-up solves fill the free lists with solve-shaped buffers.
+    for seed in 0..4u64 {
+        let mut x = rand_vec(n, 17 + seed);
+        ft.solve_in_place(&mut x).expect("warm-up solve");
+    }
+
+    // A serving workload is repeated solves against fixed factors: after
+    // warm-up, that loop must be allocation-free in the pooled classes.
+    let (h0, m0) = workspace::stats();
+    for seed in 0..8u64 {
+        let mut x = rand_vec(n, 29 + seed);
+        ft.solve_in_place(&mut x).expect("steady-state solve");
+    }
+    let (h1, m1) = workspace::stats();
+
+    let (hits, misses) = (h1 - h0, m1 - m0);
+    assert!(hits > 0, "solve path saw no pool traffic — hot paths are not pooled");
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        hit_rate >= 0.90,
+        "steady-state solve pool hit rate {hit_rate:.3} ({hits} hits / {misses} misses) below 0.90"
+    );
+}

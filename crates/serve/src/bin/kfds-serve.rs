@@ -1,0 +1,206 @@
+//! `kfds-serve`: stand up the batched solve service over synthetic
+//! NORMAL-embedded datasets and drive it with a closed-loop load
+//! generator, printing the [`ServeStats`] snapshot as JSON.
+//!
+//! ```text
+//! kfds-serve [--n N] [--keys K] [--clients C] [--requests R]
+//!            [--max-batch B] [--workers W] [--high-water H]
+//!            [--timeout-ms T] [--smoke]
+//! ```
+//!
+//! Each of the `K` factorization keys maps to its own dataset seed and
+//! regularization, so the run exercises the cache (K misses, everything
+//! else hits) as well as the batcher (C concurrent clients submitting
+//! against few keys coalesce into blocked solves). `--smoke` shrinks the
+//! problem and asserts a clean run — zero errors, every request answered,
+//! cache hit rate above zero — exiting nonzero otherwise, which is what
+//! `ci.sh` runs.
+
+use kfds_askit::{skeletonize, SkelConfig};
+use kfds_core::{SharedFactor, SolverConfig, StorageMode};
+use kfds_kernels::Gaussian;
+use kfds_serve::{FactorKey, ServeConfig, ServeError, SolveService};
+use kfds_tree::datasets::normal_embedded;
+use kfds_tree::BallTree;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    n: usize,
+    keys: usize,
+    clients: usize,
+    requests: usize,
+    max_batch: usize,
+    workers: usize,
+    high_water: usize,
+    timeout_ms: u64,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            n: 4096,
+            keys: 2,
+            clients: 16,
+            requests: 512,
+            max_batch: 16,
+            workers: 2,
+            high_water: 1024,
+            timeout_ms: 30_000,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} expects an integer argument"))
+        };
+        match flag.as_str() {
+            "--n" => args.n = grab("--n"),
+            "--keys" => args.keys = grab("--keys").max(1),
+            "--clients" => args.clients = grab("--clients").max(1),
+            "--requests" => args.requests = grab("--requests"),
+            "--max-batch" => args.max_batch = grab("--max-batch").max(1),
+            "--workers" => args.workers = grab("--workers").max(1),
+            "--high-water" => args.high_water = grab("--high-water").max(1),
+            "--timeout-ms" => args.timeout_ms = grab("--timeout-ms") as u64,
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.smoke {
+        args.n = args.n.min(1024);
+        args.requests = args.requests.min(128);
+    }
+    args
+}
+
+/// Builds a factorization for a key: the key's seed picks the dataset,
+/// its `h`/`λ` the kernel and regularization. StoredGemv is the
+/// fastest-solve storage mode, the right trade for serve-style workloads
+/// (factor once, solve many).
+fn build_factor(key: &FactorKey) -> Result<SharedFactor<Gaussian>, ServeError> {
+    let pts = normal_embedded(key.n, 3, 8, 0.05, key.seed);
+    let kernel = Gaussian::new(key.h());
+    let tree = BallTree::build(&pts, 256);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-5).with_max_rank(64).with_neighbors(8).with_max_level(1),
+    );
+    let cfg =
+        SolverConfig::default().with_lambda(key.lambda()).with_storage(StorageMode::StoredGemv);
+    SharedFactor::factorize(Arc::new(st), Arc::new(kernel), cfg)
+        .map_err(|e| ServeError::FactorizationFailed(e.to_string()))
+}
+
+fn main() {
+    let args = parse_args();
+    let keys: Vec<FactorKey> = (0..args.keys)
+        .map(|i| FactorKey::new("normal3d8", args.n, 1.0, 0.5 + 0.25 * i as f64, 42 + i as u64))
+        .collect();
+
+    let cfg = ServeConfig::default()
+        .with_workers(args.workers)
+        .with_max_batch(args.max_batch)
+        .with_high_water(args.high_water)
+        .with_default_timeout(Duration::from_millis(args.timeout_ms))
+        .with_cache_capacity(args.keys.max(2));
+    let svc = Arc::new(SolveService::start(cfg, build_factor));
+
+    // Warm the cache up front so the measured phase is pure serving.
+    for key in &keys {
+        let t = svc.submit(key.clone(), vec![1.0; args.n]).expect("warmup submit");
+        t.wait().expect("warmup solve");
+    }
+
+    let t0 = Instant::now();
+    let answered = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let per_client = args.requests.div_ceil(args.clients);
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let svc = Arc::clone(&svc);
+            let keys = keys.clone();
+            let answered = Arc::clone(&answered);
+            let failed = Arc::clone(&failed);
+            std::thread::spawn(move || {
+                for r in 0..per_client {
+                    let key = keys[(c + r) % keys.len()].clone();
+                    let rhs: Vec<f64> =
+                        (0..key.n).map(|i| 1.0 + ((c + r + i) % 7) as f64 * 0.1).collect();
+                    // Closed loop: submit, wait, repeat. Retry briefly on
+                    // backpressure so every request eventually lands.
+                    loop {
+                        match svc.submit(key.clone(), rhs.clone()) {
+                            Ok(ticket) => {
+                                match ticket.wait() {
+                                    Ok(x) => {
+                                        assert!(x.iter().all(|v| v.is_finite()));
+                                        answered.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(_) => {
+                                        failed.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                break;
+                            }
+                            Err(ServeError::Overloaded { .. }) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+
+    let stats = svc.stats();
+    let total = args.clients * per_client;
+    let rps = answered.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64();
+    println!("{}", stats.to_json());
+    eprintln!(
+        "served {} requests in {:.2}s ({rps:.1} rps, mean batch {:.2}, cache hit rate {:.3})",
+        answered.load(Ordering::Relaxed),
+        elapsed.as_secs_f64(),
+        stats.mean_batch,
+        stats.cache_hit_rate(),
+    );
+
+    if args.smoke {
+        let ok = stats.errors == 0
+            && failed.load(Ordering::Relaxed) == 0
+            && answered.load(Ordering::Relaxed) as usize == total
+            && stats.cache_hit_rate() > 0.0
+            && stats.cache_poisoned == 0;
+        if !ok {
+            eprintln!(
+                "SMOKE FAIL: errors={} failed={} answered={}/{} hit_rate={:.3} poisoned={}",
+                stats.errors,
+                failed.load(Ordering::Relaxed),
+                answered.load(Ordering::Relaxed),
+                total,
+                stats.cache_hit_rate(),
+                stats.cache_poisoned,
+            );
+            std::process::exit(1);
+        }
+        eprintln!("SMOKE OK");
+    }
+}

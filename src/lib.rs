@@ -47,6 +47,7 @@
 //! | [`krylov`] | GMRES (MGS + re-orthogonalization) and CG |
 //! | [`rt`] | simulated MPI (thread ranks, communicators, collectives) |
 //! | [`solver`] | factorization (II.2), solve (II.3), hybrid (II.6–8), distributed (II.4–5), ridge regression |
+//! | [`serve`] | batched solve service: factorization cache + adaptive multi-RHS coalescing |
 
 pub use kfds_askit as askit;
 pub use kfds_core as solver;
@@ -54,6 +55,7 @@ pub use kfds_kernels as kernels;
 pub use kfds_krylov as krylov;
 pub use kfds_la as la;
 pub use kfds_rt as rt;
+pub use kfds_serve as serve;
 pub use kfds_tree as tree;
 
 /// Everything a typical user needs, re-exported flat.
