@@ -28,9 +28,15 @@ cargo test -q --workspace
 echo "== cargo test (workspace, KFDS_SIMD=off — scalar reference paths) =="
 KFDS_SIMD=off cargo test -q --workspace
 
-echo "== simd dispatch check =="
+echo "== cargo test (workspace, KFDS_CPQR=unblocked + KFDS_EVAL_GEMM=off — BLAS-2 setup paths) =="
+# The legacy one-reflector CPQR and the scalar kernel-block assembly are the
+# bitwise reference for the blocked setup pipeline; keep them green.
+KFDS_CPQR=unblocked KFDS_EVAL_GEMM=off cargo test -q --workspace
+
+echo "== dispatch checks (simd, cpqr, gemm eval) =="
 # Fails if this host supports AVX2+FMA but the vector kernels silently
-# fell back to scalar (dispatch or build regression).
+# fell back to scalar, or if the blocked CPQR / GEMM eval paths silently
+# deactivated (dispatch or build regression).
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check
 else

@@ -23,4 +23,4 @@ pub use config::SkelConfig;
 pub use evaluate::TreecodeEvaluator;
 pub use matvec::{approx_error_estimate, exact_matvec, hier_matvec};
 pub use skeleton::{NodeSkeleton, SkeletonTree};
-pub use skeletonize::skeletonize;
+pub use skeletonize::{compute_neighbors, skeletonize, skeletonize_with_neighbors};

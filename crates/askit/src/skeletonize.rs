@@ -11,7 +11,7 @@ use crate::config::SkelConfig;
 use crate::sampling::sample_rows;
 use crate::skeleton::{NodeSkeleton, SkeletonTree};
 use kfds_kernels::{eval_block, Kernel};
-use kfds_la::interp_decomp;
+use kfds_la::{interp_decomp, workspace};
 use kfds_tree::{knn_all, knn_approximate, BallTree, NeighborLists};
 use rayon::prelude::*;
 
@@ -22,12 +22,30 @@ use rayon::prelude::*;
 /// restriction); with `config.adaptive_frontier` a node that achieves no
 /// compression also terminates skeletonization along its ancestor path.
 pub fn skeletonize<K: Kernel>(tree: BallTree, kernel: &K, config: SkelConfig) -> SkeletonTree {
+    let nn = compute_neighbors(&tree, &config);
+    skeletonize_with_neighbors(tree, kernel, config, &nn)
+}
+
+/// The kNN phase of the construction, exposed separately so harnesses can
+/// time tree build / neighbor search / skeletonization individually (the
+/// perf-trajectory setup breakdown).
+pub fn compute_neighbors(tree: &BallTree, config: &SkelConfig) -> NeighborLists {
     let n = tree.points().len();
     let kappa = config.neighbors.min(n.saturating_sub(1)).max(1);
-    let nn = match config.approx_knn_trees {
-        Some(t) if n > kappa + 1 => knn_approximate(&tree, kappa, t, config.seed),
-        _ => knn_all(&tree, kappa),
-    };
+    match config.approx_knn_trees {
+        Some(t) if n > kappa + 1 => knn_approximate(tree, kappa, t, config.seed),
+        _ => knn_all(tree, kappa),
+    }
+}
+
+/// [`skeletonize`] with precomputed neighbor lists (`nn` must come from
+/// [`compute_neighbors`] on the same tree and config).
+pub fn skeletonize_with_neighbors<K: Kernel>(
+    tree: BallTree,
+    kernel: &K,
+    config: SkelConfig,
+    nn: &NeighborLists,
+) -> SkeletonTree {
     let n_nodes = tree.nodes().len();
     let mut skeletons: Vec<Option<NodeSkeleton>> = (0..n_nodes).map(|_| None).collect();
 
@@ -36,7 +54,7 @@ pub fn skeletonize<K: Kernel>(tree: BallTree, kernel: &K, config: SkelConfig) ->
         let level_nodes: Vec<usize> = tree.nodes_at_level(level).to_vec();
         let results: Vec<(usize, Option<NodeSkeleton>)> = level_nodes
             .par_iter()
-            .map(|&i| (i, skeletonize_node(&tree, kernel, &nn, &skeletons, i, &config)))
+            .map(|&i| (i, skeletonize_node(&tree, kernel, nn, &skeletons, i, &config)))
             .collect();
         for (i, sk) in results {
             skeletons[i] = sk;
@@ -58,12 +76,14 @@ fn skeletonize_node<K: Kernel>(
 ) -> Option<NodeSkeleton> {
     let nd = tree.node(node);
     // The ID columns: the node's own points (leaf) or the children's
-    // skeleton points (internal, nested basis).
-    let cols: Vec<usize> = match nd.children {
-        None => nd.range().collect(),
+    // skeleton points (internal, nested basis). Pooled — this per-node
+    // union list is rebuilt for every node of every level.
+    let mut cols = workspace::take_idx(nd.len());
+    match nd.children {
+        None => cols.extend(nd.range()),
         Some((l, r)) => {
             let (ls, rs) = (skeletons[l].as_ref()?, skeletons[r].as_ref()?);
-            ls.skeleton.iter().chain(rs.skeleton.iter()).copied().collect()
+            cols.extend(ls.skeleton.iter().chain(rs.skeleton.iter()).copied());
         }
     };
     if cols.is_empty() {
@@ -73,6 +93,8 @@ fn skeletonize_node<K: Kernel>(
     if rows.is_empty() {
         return None; // nothing outside the node: cannot compress
     }
+    // The sampled block is pooled storage (eval_block) and is consumed by
+    // the ID, which recycles it along with its own scratch.
     let block = eval_block(kernel, tree.points(), &rows, &cols);
     let id = interp_decomp(block, config.tol, config.max_rank);
     if id.rank() == 0 {
@@ -196,6 +218,107 @@ mod tests {
         assert_eq!(x.len(), st.tree().node(l).len());
         let y = st.apply_p_t(l, &x);
         assert_eq!(y.len(), sk.rank());
+    }
+
+    /// Serializes tests that flip the global CPQR / eval-path switches
+    /// (same convention as the `POOL_TOGGLE` mutex in the la/kernels
+    /// property tests).
+    static SETUP_TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// RAII guard: forces the pre-BLAS-3 setup pipeline (unblocked CPQR +
+    /// scalar block assembly) or the blocked one, restoring the prior
+    /// state on drop (including on panic).
+    struct SetupMode {
+        prev_cpqr: bool,
+        prev_eval: bool,
+    }
+
+    impl SetupMode {
+        fn force(blocked: bool) -> Self {
+            let prev_cpqr = kfds_la::cpqr::blocked_active();
+            let prev_eval = kfds_kernels::gemm_eval_active();
+            kfds_la::cpqr::set_cpqr_blocked(blocked);
+            kfds_kernels::set_gemm_eval_enabled(blocked);
+            SetupMode { prev_cpqr, prev_eval }
+        }
+    }
+
+    impl Drop for SetupMode {
+        fn drop(&mut self) {
+            kfds_la::cpqr::set_cpqr_blocked(self.prev_cpqr);
+            kfds_kernels::set_gemm_eval_enabled(self.prev_eval);
+        }
+    }
+
+    #[test]
+    fn blocked_path_preserves_invariants() {
+        // The blocked RRQR + GEMM assembly must preserve the structural
+        // guarantees of the construction: every non-root node skeletonized,
+        // nested skeletons, skeleton points inside their node.
+        let _guard = SETUP_TOGGLE.lock().unwrap();
+        let _mode = SetupMode::force(true);
+        let p = normal_embedded(512, 2, 8, 0.01, 5);
+        let tree = BallTree::build(&p, 32);
+        let cfg = SkelConfig::default()
+            .with_tol(1e-5)
+            .with_max_rank(96)
+            .with_neighbors(8)
+            .with_max_level(1);
+        let st = skeletonize(tree, &Gaussian::new(1.5), cfg);
+        assert!(st.is_fully_skeletonized());
+        for (i, nd) in st.tree().nodes().iter().enumerate() {
+            if let Some(sk) = st.skeleton(i) {
+                for &s in &sk.skeleton {
+                    assert!(nd.range().contains(&s), "skeleton point {s} outside node {i}");
+                }
+            }
+            if let (Some(sk), Some((l, r))) = (st.skeleton(i), nd.children) {
+                let union: std::collections::HashSet<usize> = st
+                    .skeleton(l)
+                    .into_iter()
+                    .chain(st.skeleton(r))
+                    .flat_map(|s| s.skeleton.iter().copied())
+                    .collect();
+                for &s in &sk.skeleton {
+                    assert!(union.contains(&s), "node {i}: skeleton {s} not nested");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_and_unblocked_setup_agree() {
+        // On a well-conditioned workload the blocked panel CPQR picks the
+        // same pivots as the unblocked reference, and the GEMM-assembled
+        // kernel blocks agree with the scalar ones to rounding — so the two
+        // full pipelines must select identical skeletons and ranks.
+        let _guard = SETUP_TOGGLE.lock().unwrap();
+        let p = normal_embedded(512, 2, 8, 0.01, 9);
+        let cfg = SkelConfig::default()
+            .with_tol(1e-4)
+            .with_max_rank(64)
+            .with_neighbors(8)
+            .with_max_level(1);
+        let kernel = Gaussian::new(2.0);
+        let st_blocked = {
+            let _mode = SetupMode::force(true);
+            skeletonize(BallTree::build(&p, 32), &kernel, cfg.clone())
+        };
+        let st_ref = {
+            let _mode = SetupMode::force(false);
+            skeletonize(BallTree::build(&p, 32), &kernel, cfg)
+        };
+        assert_eq!(st_blocked.is_fully_skeletonized(), st_ref.is_fully_skeletonized());
+        for i in 0..st_ref.tree().nodes().len() {
+            match (st_blocked.skeleton(i), st_ref.skeleton(i)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.rank(), b.rank(), "node {i}: rank mismatch");
+                    assert_eq!(a.skeleton, b.skeleton, "node {i}: skeleton mismatch");
+                }
+                _ => panic!("node {i}: skeletonized under one path only"),
+            }
+        }
     }
 
     #[test]

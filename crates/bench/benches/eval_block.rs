@@ -1,0 +1,58 @@
+//! GEMM-backed vs scalar kernel block assembly.
+//!
+//! `eval_block` builds K[rows, cols] for skeletonization and factorization.
+//! The scalar path (`KFDS_EVAL_GEMM=off`) computes each squared distance
+//! point-pair by point-pair; the GEMM path gathers the coordinate panels,
+//! forms the Gram block `Xr^T Xc` through the BLAS-3 microkernels, and
+//! finishes with the vectorized `eval_parts_many` epilogue. Shapes mirror
+//! the sampled blocks skeletonization actually assembles.
+//!
+//! ```sh
+//! cargo bench -p kfds-bench --bench eval_block
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kfds_kernels::{eval_block, set_gemm_eval_enabled, Gaussian};
+use kfds_tree::PointSet;
+use std::hint::black_box;
+
+fn rand_points(n: usize, d: usize, seed: u64) -> PointSet {
+    let mut state = seed | 1;
+    let data: Vec<f64> = (0..n * d)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect();
+    PointSet::from_col_major(d, data)
+}
+
+fn bench_eval_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_block");
+    group.sample_size(10);
+    let kernel = Gaussian::new(1.0);
+    // (m, n, d): sampled-block shapes at low and moderate dimension.
+    for &(m, n, d) in &[(256usize, 128usize, 4usize), (256, 128, 64), (512, 256, 4), (512, 256, 64)]
+    {
+        let pts = rand_points(m + n, d, (m * n * d) as u64);
+        let rows: Vec<usize> = (0..m).collect();
+        let cols: Vec<usize> = (m..m + n).collect();
+        group.bench_with_input(
+            BenchmarkId::new("scalar", format!("{m}x{n}_d{d}")),
+            &m,
+            |bch, _| {
+                set_gemm_eval_enabled(false);
+                bch.iter(|| black_box(eval_block(&kernel, &pts, &rows, &cols)));
+                set_gemm_eval_enabled(true);
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("gemm", format!("{m}x{n}_d{d}")), &m, |bch, _| {
+            set_gemm_eval_enabled(true);
+            bch.iter(|| black_box(eval_block(&kernel, &pts, &rows, &cols)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_block);
+criterion_main!(benches);

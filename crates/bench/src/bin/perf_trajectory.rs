@@ -1,30 +1,37 @@
-//! **Perf trajectory** — fixed factorize+solve workload matrix whose
+//! **Perf trajectory** — fixed setup+factorize+solve workload matrix whose
 //! results are committed at the repo root (`BENCH_factor.json`) so that
 //! successive optimization PRs leave a comparable timing trail.
 //!
 //! Workloads are the Fig. 4-left complexity-sweep configs and the
 //! Table III dataset configs, scaled to this container. Each workload runs
-//! over the (pool, simd) A/B grid — the [`kfds_la::workspace`] pool
-//! kill-switch and the [`kfds_la::simd`] microkernel kill-switch — at 1
-//! and 4 rayon threads, recording best-of-3 wall-clock, GFLOP/s from the
-//! solver's explicit flop counters, peak RSS, and pool hit rates. The
-//! `(pool on, simd off)` rows reproduce the pre-SIMD scalar numerics, so
-//! `simd_speedup` in the summary is the before/after of this PR's
-//! vector microkernels.
+//! over the (pool, simd, cpqr) A/B grid — the [`kfds_la::workspace`] pool
+//! kill-switch, the [`kfds_la::simd`] microkernel kill-switch, and the
+//! blocked-setup kill-switches ([`kfds_la::cpqr`] blocked RRQR +
+//! [`kfds_kernels`] GEMM block assembly, toggled together) — at 1 and 4
+//! rayon threads, recording best-of-3 wall-clock for every pipeline phase
+//! (`t_tree_s`, `t_knn_s`, `t_skel_s`, `t_factor_s`, `t_solve_s`,
+//! `t_solve16_s`), GFLOP/s from the solver's explicit flop counters, peak
+//! RSS, and pool hit rates. The `cpqr=false` rows reproduce the pre-BLAS-3
+//! setup numerics (unblocked one-reflector CPQR + per-entry scalar kernel
+//! evaluation), so `skel_speedup` in the summary is the before/after of
+//! this PR's setup rebuild.
 //!
 //! ```sh
 //! cargo run --release -p kfds-bench --bin perf_trajectory [-- --scale 2]
 //! # writes BENCH_factor.json in the current directory (run from repo root)
 //! cargo run --release -p kfds-bench --bin perf_trajectory -- --check
 //! # dispatch sanity only: exits 1 if this host supports AVX2+FMA but the
-//! # vector kernels are inactive without KFDS_SIMD=off being set.
+//! # vector kernels are inactive, or if the blocked CPQR / GEMM assembly
+//! # paths silently fell back, without the matching KFDS_* opt-out.
 //! ```
 
-use kfds_bench::{arg_f64, build_skeleton_tree, scaled_bandwidth, standin, test_vec, timed};
+use kfds_askit::{compute_neighbors, skeletonize_with_neighbors};
+use kfds_bench::{arg_f64, harness_skel_config, scaled_bandwidth, standin, test_vec, timed};
 use kfds_core::{factorize, SolverConfig};
-use kfds_la::{simd, workspace, Mat};
+use kfds_kernels::Gaussian;
+use kfds_la::{cpqr, simd, workspace, ColPivQr, Mat};
 use kfds_tree::datasets::normal_embedded;
-use kfds_tree::PointSet;
+use kfds_tree::{BallTree, PointSet};
 
 struct Workload {
     label: String,
@@ -42,6 +49,10 @@ struct Run {
     threads: usize,
     pool: bool,
     simd: bool,
+    cpqr: bool,
+    t_tree_s: f64,
+    t_knn_s: f64,
+    t_skel_s: f64,
     t_factor_s: f64,
     t_solve_s: f64,
     t_solve16_s: f64,
@@ -57,6 +68,17 @@ struct Run {
 /// minimum (best-of-3 suppresses time-slicing noise on shared hosts).
 const REPS: usize = 3;
 
+/// Applies one point of the (pool, simd, cpqr) grid. The `cpqr` axis
+/// toggles both BLAS-3 setup paths together — the blocked panel CPQR and
+/// the GEMM-backed kernel block assembly — because `cpqr=false` is meant to
+/// reproduce the full pre-BLAS-3 setup pipeline.
+fn apply_grid(pool: bool, simd_on: bool, cpqr_on: bool) {
+    workspace::set_pool_enabled(pool);
+    simd::set_simd_enabled(simd_on);
+    cpqr::set_cpqr_blocked(cpqr_on);
+    kfds_kernels::set_gemm_eval_enabled(cpqr_on);
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--check") {
         std::process::exit(dispatch_check());
@@ -64,30 +86,58 @@ fn main() {
     let scale = arg_f64("--scale", 1.0);
     let workloads = build_workloads(scale);
     let threads_list = [1usize, 4];
-    // (pool, simd): pool-off baseline, scalar reference, and full fast path.
-    let configs = [(false, true), (true, false), (true, true)];
+    // (pool, simd, cpqr): pool-off baseline, scalar reference, pre-BLAS-3
+    // setup baseline, and the full fast path.
+    let configs =
+        [(false, true, true), (true, false, true), (true, true, false), (true, true, true)];
     let mut runs: Vec<Run> = Vec::new();
 
     for wl in &workloads {
         let n = wl.points.len();
         eprintln!("== workload {} (N = {n}) ==", wl.label);
-        let (st, kernel, _) = build_skeleton_tree(&wl.points, wl.h, wl.m, wl.tau, wl.max_rank, 1);
+        let skel_cfg = harness_skel_config(wl.points.dim(), wl.tau, wl.max_rank, 1);
         let cfg = SolverConfig::default().with_lambda(wl.lambda);
         for &threads in &threads_list {
-            for &(pool, simd_on) in &configs {
-                workspace::set_pool_enabled(pool);
-                simd::set_simd_enabled(simd_on);
-                let pool_handle =
-                    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+            let pool_handle =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+            // Tree build and kNN are invariant under the grid switches
+            // (they never touch the pooled/SIMD/CPQR paths); time them once
+            // per thread count and share the numbers across the grid rows.
+            let mut t_tree = f64::INFINITY;
+            let mut t_knn = f64::INFINITY;
+            let mut shared_nn = None;
+            for _ in 0..REPS {
+                let (tree, tt) =
+                    pool_handle.install(|| timed(|| BallTree::build(&wl.points, wl.m)));
+                let (nn, tk) =
+                    pool_handle.install(|| timed(|| compute_neighbors(&tree, &skel_cfg)));
+                t_tree = t_tree.min(tt);
+                t_knn = t_knn.min(tk);
+                shared_nn = Some(nn);
+            }
+            let nn = shared_nn.expect("REPS > 0");
+            for &(pool, simd_on, cpqr_on) in &configs {
+                apply_grid(pool, simd_on, cpqr_on);
+                let kernel = Gaussian::new(wl.h);
                 // Warm-up pass: fault in pages / fill the workspace pool so
                 // the measured passes reflect steady state.
+                let st = pool_handle.install(|| {
+                    let tree = BallTree::build(&wl.points, wl.m);
+                    skeletonize_with_neighbors(tree, &kernel, skel_cfg.clone(), &nn)
+                });
                 let _ = pool_handle.install(|| factorize(&st, &kernel, cfg).expect("warmup"));
+                drop(st);
                 let (h0, m0) = workspace::stats();
+                let mut t_skel = f64::INFINITY;
                 let mut t_factor = f64::INFINITY;
                 let mut t_solve = f64::INFINITY;
                 let mut t_solve16 = f64::INFINITY;
                 let mut flops = 0.0;
                 for _ in 0..REPS {
+                    let tree = pool_handle.install(|| BallTree::build(&wl.points, wl.m));
+                    let (st, tsk) = pool_handle.install(|| {
+                        timed(|| skeletonize_with_neighbors(tree, &kernel, skel_cfg.clone(), &nn))
+                    });
                     let (ft, tf) =
                         pool_handle.install(|| timed(|| factorize(&st, &kernel, cfg).expect("f")));
                     let mut x = test_vec(n, 42);
@@ -101,6 +151,7 @@ fn main() {
                     }
                     let (_, ts16) = pool_handle
                         .install(|| timed(|| ft.solve_mat_in_place(&mut xm).expect("solve16")));
+                    t_skel = t_skel.min(tsk);
                     t_factor = t_factor.min(tf);
                     t_solve = t_solve.min(ts);
                     t_solve16 = t_solve16.min(ts16);
@@ -113,6 +164,10 @@ fn main() {
                     threads,
                     pool,
                     simd: simd_on,
+                    cpqr: cpqr_on,
+                    t_tree_s: t_tree,
+                    t_knn_s: t_knn,
+                    t_skel_s: t_skel,
                     t_factor_s: t_factor,
                     t_solve_s: t_solve,
                     t_solve16_s: t_solve16,
@@ -125,43 +180,78 @@ fn main() {
                 });
                 let r = runs.last().expect("just pushed");
                 eprintln!(
-                    "  threads={threads} pool={pool} simd={simd_on}: factor {:.3}s ({:.2} GFLOP/s), solve {:.4}s, solve16 {:.4}s ({:.0} rhs/s), hits/misses {}/{}",
-                    r.t_factor_s, r.gflops, r.t_solve_s, r.t_solve16_s, r.solve16_rhs_per_s, r.pool_hits, r.pool_misses
+                    "  threads={threads} pool={pool} simd={simd_on} cpqr={cpqr_on}: skel {:.3}s, factor {:.3}s ({:.2} GFLOP/s), solve {:.4}s, solve16 {:.4}s ({:.0} rhs/s), hits/misses {}/{}",
+                    r.t_skel_s, r.t_factor_s, r.gflops, r.t_solve_s, r.t_solve16_s, r.solve16_rhs_per_s, r.pool_hits, r.pool_misses
                 );
             }
         }
     }
-    workspace::set_pool_enabled(true);
-    simd::set_simd_enabled(true);
+    apply_grid(true, true, true);
 
     let json = render_json(&runs, scale);
     std::fs::write("BENCH_factor.json", &json).expect("write BENCH_factor.json");
     eprintln!("wrote BENCH_factor.json ({} runs)", runs.len());
 }
 
-/// `--check`: verifies the SIMD dispatch state is consistent with the host
-/// and the environment. Returns the process exit code.
+/// `--check`: verifies that every runtime-dispatched fast path is in the
+/// state the host and environment imply. Returns the process exit code.
 ///
-/// * AVX2+FMA host, kernels active — OK.
+/// * AVX2+FMA host, vector kernels active — OK.
 /// * `KFDS_SIMD=off`/`0` set — scalar mode was requested, OK.
 /// * non-x86 / pre-AVX2 host — scalar fallback is the implementation, OK.
 /// * AVX2+FMA host but kernels inactive with no opt-out — **failure**: the
 ///   scalar fallback silently engaged (a dispatch or build regression).
+/// * Blocked CPQR / GEMM assembly inactive (or not actually taken by a
+///   large factorization) without `KFDS_CPQR`/`KFDS_EVAL_GEMM` being set —
+///   **failure**: the BLAS-3 setup path silently fell back.
 fn dispatch_check() -> i32 {
     let feats = simd::detected_features();
     let env_off = std::env::var_os("KFDS_SIMD").is_some_and(|v| v == "off" || v == "0");
     if env_off {
         eprintln!("simd check: KFDS_SIMD=off requested, scalar paths active ({feats})");
-        return 0;
-    }
-    if simd::cpu_supported() && !simd::active() {
+    } else if simd::cpu_supported() && !simd::active() {
         eprintln!(
             "simd check FAILED: host supports the vector kernels ({feats}) but they are \
              inactive and KFDS_SIMD was not set — scalar fallback silently engaged"
         );
         return 1;
+    } else {
+        eprintln!("simd check: features {feats}, vector kernels active = {}", simd::active());
     }
-    eprintln!("simd check: features {feats}, vector kernels active = {}", simd::active());
+
+    // Blocked-setup gate: with no opt-out in the environment, the blocked
+    // CPQR must (a) report active and (b) actually take the panel path for
+    // a factorization above the dispatch threshold.
+    let cpqr_env_off =
+        std::env::var_os("KFDS_CPQR").is_some_and(|v| v == "unblocked" || v == "off" || v == "0");
+    if cpqr_env_off {
+        eprintln!("cpqr check: KFDS_CPQR=unblocked requested, BLAS-2 path active");
+    } else {
+        let before = cpqr::blocked_factor_count();
+        let a = Mat::from_fn(96, 96, |i, j| ((i * 7 + j * 13) as f64 * 0.19).sin());
+        let _ = ColPivQr::factor_truncated(a, 0.0, usize::MAX);
+        if !cpqr::blocked_active() || cpqr::blocked_factor_count() == before {
+            eprintln!(
+                "cpqr check FAILED: KFDS_CPQR not set but a 96x96 factorization did not take \
+                 the blocked panel path — BLAS-2 fallback silently engaged"
+            );
+            return 1;
+        }
+        eprintln!("cpqr check: blocked panel path active");
+    }
+
+    let eval_env_off = std::env::var_os("KFDS_EVAL_GEMM").is_some_and(|v| v == "off" || v == "0");
+    if eval_env_off {
+        eprintln!("eval check: KFDS_EVAL_GEMM=off requested, scalar block assembly active");
+    } else if !kfds_kernels::gemm_eval_active() {
+        eprintln!(
+            "eval check FAILED: KFDS_EVAL_GEMM not set but the GEMM block-assembly path is \
+             inactive — scalar fallback silently engaged"
+        );
+        return 1;
+    } else {
+        eprintln!("eval check: GEMM block assembly active");
+    }
     0
 }
 
@@ -215,7 +305,7 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kfds-perf-trajectory-v3\",\n");
+    s.push_str("  \"schema\": \"kfds-perf-trajectory-v4\",\n");
     s.push_str(
         "  \"generated_by\": \"cargo run --release -p kfds-bench --bin perf_trajectory\",\n",
     );
@@ -223,16 +313,20 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     s.push_str(&format!("  \"host_cpus\": {cpus},\n"));
     s.push_str(&format!("  \"host_simd\": \"{}\",\n", simd::detected_features()));
     s.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
-    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise). simd_speedup compares (pool on, simd off) vs (pool on, simd on); pool_speedup compares pool off vs on at simd on. Timings are best-of-3. The container exposes a single physical CPU, so multi-thread rows exercise the parallel code paths (row-split tall-skinny GEMM, per-level node parallelism) under time-slicing and cannot show wall-clock speedup; the >=1.3x multi-thread factorization target requires >=4 physical cores to manifest. v3 adds the blocked 16-RHS solve (t_solve16_s, solve16_rhs_per_s); batch16_solve_amortization in the summary is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves.\",\n");
+    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s/t_knn_s are invariant under the grid switches and are measured once per thread count (shared across that thread count's rows). The container exposes a single physical CPU, so multi-thread rows exercise the parallel code paths under time-slicing and cannot show wall-clock speedup; multi-thread targets require >=4 physical cores to manifest. batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves.\",\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
             r.label,
             r.n,
             r.threads,
             r.pool,
             r.simd,
+            r.cpqr,
+            r.t_tree_s,
+            r.t_knn_s,
+            r.t_skel_s,
             r.t_factor_s,
             r.t_solve_s,
             r.t_solve16_s,
@@ -248,9 +342,10 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     s.push_str("  ],\n");
     s.push_str("  \"summary\": {\n");
     let mut lines = Vec::new();
-    for r in runs.iter().filter(|r| r.pool && r.simd) {
-        if let Some(before) =
-            runs.iter().find(|b| !b.pool && b.simd && b.label == r.label && b.threads == r.threads)
+    for r in runs.iter().filter(|r| r.pool && r.simd && r.cpqr) {
+        if let Some(before) = runs
+            .iter()
+            .find(|b| !b.pool && b.simd && b.cpqr && b.label == r.label && b.threads == r.threads)
         {
             lines.push(format!(
                 "    \"{}_t{}_pool_speedup\": {:.4}",
@@ -259,14 +354,33 @@ fn render_json(runs: &[Run], scale: f64) -> String {
                 before.t_factor_s / r.t_factor_s
             ));
         }
-        if let Some(scalar) =
-            runs.iter().find(|b| b.pool && !b.simd && b.label == r.label && b.threads == r.threads)
+        if let Some(scalar) = runs
+            .iter()
+            .find(|b| b.pool && !b.simd && b.cpqr && b.label == r.label && b.threads == r.threads)
         {
             lines.push(format!(
                 "    \"{}_t{}_simd_speedup\": {:.4}",
                 r.label,
                 r.threads,
                 scalar.t_factor_s / r.t_factor_s
+            ));
+        }
+        if let Some(blas2) = runs
+            .iter()
+            .find(|b| b.pool && b.simd && !b.cpqr && b.label == r.label && b.threads == r.threads)
+        {
+            lines.push(format!(
+                "    \"{}_t{}_skel_speedup\": {:.4}",
+                r.label,
+                r.threads,
+                blas2.t_skel_s / r.t_skel_s
+            ));
+            lines.push(format!(
+                "    \"{}_t{}_setup_speedup\": {:.4}",
+                r.label,
+                r.threads,
+                (blas2.t_tree_s + blas2.t_knn_s + blas2.t_skel_s)
+                    / (r.t_tree_s + r.t_knn_s + r.t_skel_s)
             ));
         }
         lines.push(format!(

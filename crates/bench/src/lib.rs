@@ -83,6 +83,22 @@ pub fn scaled_bandwidth(d: usize, factor: f64) -> f64 {
     factor * (2.0 * d as f64).sqrt()
 }
 
+/// The skeletonization config the harnesses share: tolerance/rank caps
+/// plus the kNN mode. High ambient dimension defeats exact ball-tree kNN
+/// pruning (O(N²d)), so those workloads switch to ASKIT's
+/// randomized-projection-tree mode.
+pub fn harness_skel_config(dim: usize, tol: f64, max_rank: usize, max_level: usize) -> SkelConfig {
+    let mut cfg = SkelConfig::default()
+        .with_tol(tol)
+        .with_max_rank(max_rank)
+        .with_neighbors(16)
+        .with_max_level(max_level);
+    if dim >= 64 {
+        cfg = cfg.with_approx_knn(8);
+    }
+    cfg
+}
+
 /// Builds tree + skeletons with common parameters, timed.
 pub fn build_skeleton_tree(
     points: &PointSet,
@@ -93,18 +109,9 @@ pub fn build_skeleton_tree(
     max_level: usize,
 ) -> (SkeletonTree, Gaussian, f64) {
     let kernel = Gaussian::new(h);
+    let cfg = harness_skel_config(points.dim(), tol, max_rank, max_level);
     let (st, secs) = timed(|| {
         let tree = BallTree::build(points, m);
-        let mut cfg = SkelConfig::default()
-            .with_tol(tol)
-            .with_max_rank(max_rank)
-            .with_neighbors(16)
-            .with_max_level(max_level);
-        // High ambient dimension defeats exact ball-tree kNN pruning
-        // (O(N²d)); switch to ASKIT's randomized-projection-tree mode.
-        if points.dim() >= 64 {
-            cfg = cfg.with_approx_knn(8);
-        }
         skeletonize(tree, &kernel, cfg)
     });
     (st, kernel, secs)

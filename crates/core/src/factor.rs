@@ -19,7 +19,9 @@ use crate::config::{FactorStats, LeafFactorization, SolverConfig, StorageMode, W
 use crate::error::SolverError;
 use kfds_askit::SkeletonTree;
 use kfds_kernels::flops;
-use kfds_kernels::{eval_block, eval_symmetric, sum_fused_multi, sum_reference_multi, Kernel};
+use kfds_kernels::{
+    eval_block_range, eval_symmetric, sum_fused_multi, sum_reference_multi, Kernel,
+};
 use kfds_la::{gemm, workspace, Cholesky, Lu, Mat, Trans};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -405,8 +407,6 @@ pub(crate) fn build_reduced_system<K: Kernel>(
     let skr = st.skeleton(r).expect("factorable node needs skeletonized children");
     let (sl, sr) = (skl.rank(), skr.rank());
     let (nl, nr) = (tree.node(l).len(), tree.node(r).len());
-    let r_cols: Vec<usize> = tree.node(r).range().collect();
-    let l_cols: Vec<usize> = tree.node(l).range().collect();
     let mut cost = NodeCost { min_pivot: f64::INFINITY, ..Default::default() };
 
     // B_l = K_{l̃ r} P̂_{rr̃} (s_l x s_r) and B_r = K_{r̃ l} P̂_{ll̃}.
@@ -418,8 +418,10 @@ pub(crate) fn build_reduced_system<K: Kernel>(
     let mut v_rl = None;
     match config.storage {
         StorageMode::StoredGemv => {
-            let klr = eval_block(kernel, pts, &skl.skeleton, &r_cols);
-            let krl = eval_block(kernel, pts, &skr.skeleton, &l_cols);
+            // The sibling columns are contiguous permuted ranges: stream
+            // them straight off the point set, no index list materialized.
+            let klr = eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range());
+            let krl = eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range());
             gemm(1.0, klr.rb(), Trans::No, p_hat_r.rb(), Trans::No, 0.0, b_l.rb_mut());
             gemm(1.0, krl.rb(), Trans::No, p_hat_l.rb(), Trans::No, 0.0, b_r.rb_mut());
             cost.bytes += (sl * nr + sr * nl) * 8;
@@ -427,13 +429,34 @@ pub(crate) fn build_reduced_system<K: Kernel>(
             v_lr = Some(klr);
             v_rl = Some(krl);
         }
-        StorageMode::RecomputeGemm => {
-            sum_reference_multi(kernel, pts, &skl.skeleton, &r_cols, p_hat_r.rb(), b_l.rb_mut());
-            sum_reference_multi(kernel, pts, &skr.skeleton, &l_cols, p_hat_l.rb(), b_r.rb_mut());
-        }
-        StorageMode::Gsks => {
-            sum_fused_multi(kernel, pts, &skl.skeleton, &r_cols, p_hat_r.rb(), b_l.rb_mut());
-            sum_fused_multi(kernel, pts, &skr.skeleton, &l_cols, p_hat_l.rb(), b_r.rb_mut());
+        storage => {
+            // The matrix-free engines take explicit column lists; build
+            // them in pooled index scratch (one per node per factorize).
+            let mut r_cols = workspace::take_idx(nr);
+            r_cols.extend(tree.node(r).range());
+            let mut l_cols = workspace::take_idx(nl);
+            l_cols.extend(tree.node(l).range());
+            if storage == StorageMode::RecomputeGemm {
+                sum_reference_multi(
+                    kernel,
+                    pts,
+                    &skl.skeleton,
+                    &r_cols,
+                    p_hat_r.rb(),
+                    b_l.rb_mut(),
+                );
+                sum_reference_multi(
+                    kernel,
+                    pts,
+                    &skr.skeleton,
+                    &l_cols,
+                    p_hat_l.rb(),
+                    b_r.rb_mut(),
+                );
+            } else {
+                sum_fused_multi(kernel, pts, &skl.skeleton, &r_cols, p_hat_r.rb(), b_l.rb_mut());
+                sum_fused_multi(kernel, pts, &skr.skeleton, &l_cols, p_hat_l.rb(), b_r.rb_mut());
+            }
         }
     }
     if !matches!(config.storage, StorageMode::StoredGemv) {

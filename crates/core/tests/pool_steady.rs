@@ -6,7 +6,7 @@
 //! after a warm-up pass, a full factorize + solve must be overwhelmingly
 //! pool hits.
 
-use kfds_askit::{skeletonize, SkelConfig};
+use kfds_askit::{compute_neighbors, skeletonize, skeletonize_with_neighbors, SkelConfig};
 use kfds_core::{factorize, SolverConfig};
 use kfds_kernels::Gaussian;
 use kfds_la::workspace;
@@ -95,5 +95,45 @@ fn steady_state_solve_path_is_mostly_pool_hits() {
     assert!(
         hit_rate >= 0.90,
         "steady-state solve pool hit rate {hit_rate:.3} ({hits} hits / {misses} misses) below 0.90"
+    );
+}
+
+#[test]
+fn steady_state_setup_rebuild_is_mostly_pool_hits() {
+    // A rebuild-heavy workload (cross-validation sweeps, serving cache
+    // misses) re-runs the whole setup phase — tree, skeletonization —
+    // against the same point set. After a warm-up rebuild, the
+    // skeletonization temporaries (column-union lists, sampled blocks,
+    // gathered coordinate panels, ID scratch) must recycle from the pool.
+    let n = 1024;
+    let pts = normal_embedded(n, 3, 8, 0.05, 17);
+    let kernel = Gaussian::new(1.0);
+    let cfg =
+        SkelConfig::default().with_tol(1e-5).with_max_rank(64).with_neighbors(8).with_max_level(1);
+    let tree = BallTree::build(&pts, 64);
+    let nn = compute_neighbors(&tree, &cfg);
+    drop(tree);
+
+    // Warm-up rebuilds fill the free lists with setup-shaped buffers.
+    for _ in 0..2 {
+        let tree = BallTree::build(&pts, 64);
+        let st = skeletonize_with_neighbors(tree, &kernel, cfg.clone(), &nn);
+        assert!(st.is_fully_skeletonized());
+    }
+
+    let (h0, m0) = workspace::stats();
+    for _ in 0..4 {
+        let tree = BallTree::build(&pts, 64);
+        let st = skeletonize_with_neighbors(tree, &kernel, cfg.clone(), &nn);
+        assert!(st.is_fully_skeletonized());
+    }
+    let (h1, m1) = workspace::stats();
+
+    let (hits, misses) = (h1 - h0, m1 - m0);
+    assert!(hits > 0, "setup rebuild saw no pool traffic — skeletonization is not pooled");
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        hit_rate >= 0.80,
+        "steady-state setup pool hit rate {hit_rate:.3} ({hits} hits / {misses} misses) below 0.80"
     );
 }

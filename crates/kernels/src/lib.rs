@@ -20,7 +20,9 @@ pub mod function;
 pub mod gsks;
 pub mod reference;
 
-pub use eval::{eval_block, eval_block_range, eval_symmetric};
+pub use eval::{
+    eval_block, eval_block_range, eval_symmetric, gemm_eval_active, set_gemm_eval_enabled,
+};
 pub use function::{Gaussian, Kernel, Laplacian, Matern32, Polynomial};
 pub use gsks::{sum_fused, sum_fused_multi};
 pub use reference::{gather_coords, kernel_block_gemm, sum_reference, sum_reference_multi};

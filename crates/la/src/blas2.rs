@@ -55,12 +55,50 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 /// `y = alpha * A^T * x + beta * y`.
 ///
 /// Each output element is a dot product with a contiguous column of `A`.
+/// With SIMD active and `beta == 0` the columns are blocked four at a
+/// time through the AVX2 kernel so each load of `x` amortizes four column
+/// streams; the scalar path (one `dot` per column) stays the reference
+/// implementation under `KFDS_SIMD=off`.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.nrows(), x.len(), "gemv_t: A.nrows != x.len");
     assert_eq!(a.ncols(), y.len(), "gemv_t: A.ncols != y.len");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if beta == 0.0 && alpha != 0.0 && a.nrows() >= 8 && a.ncols() >= 4 && crate::simd::active()
+        {
+            // SAFETY: active() implies AVX2+FMA (avx512_supported gates
+            // the 8-wide variant); the view exposes
+            // `col_stride * (ncols - 1) + nrows` elements from `as_ptr()`
+            // and the length asserts above cover x and y.
+            unsafe {
+                if crate::simd::avx512_supported() {
+                    crate::simd::dgemv_t_avx512(
+                        a.nrows(),
+                        a.ncols(),
+                        alpha,
+                        a.as_ptr(),
+                        a.col_stride(),
+                        x.as_ptr(),
+                        y.as_mut_ptr(),
+                    );
+                } else {
+                    crate::simd::dgemv_t_avx2(
+                        a.nrows(),
+                        a.ncols(),
+                        alpha,
+                        a.as_ptr(),
+                        a.col_stride(),
+                        x.as_ptr(),
+                        y.as_mut_ptr(),
+                    );
+                }
+            }
+            return;
+        }
+    }
     for (j, yj) in y.iter_mut().enumerate() {
         let d = if alpha == 0.0 { 0.0 } else { alpha * dot(a.col(j), x) };
         *yj = if beta == 0.0 { d } else { beta * *yj + d };

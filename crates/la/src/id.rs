@@ -7,6 +7,7 @@
 
 use crate::cpqr::ColPivQr;
 use crate::mat::Mat;
+use crate::workspace;
 
 /// The result of an interpolative decomposition.
 #[derive(Clone, Debug)]
@@ -54,7 +55,12 @@ pub fn interp_decomp(a: Mat, tol: f64, max_rank: usize) -> InterpDecomp {
             proj[(i, dst)] = t[(i, j)];
         }
     }
-    InterpDecomp { skeleton, proj, sigma_est: f.rdiag().to_vec() }
+    let sigma_est = f.rdiag().to_vec();
+    // The coefficient scratch and the packed QR (which owns the sampled
+    // block the caller moved in) are pure hot-path temporaries by now.
+    workspace::recycle_mat(t);
+    workspace::recycle_mat(f.into_matrix());
+    InterpDecomp { skeleton, proj, sigma_est }
 }
 
 #[cfg(test)]

@@ -225,8 +225,25 @@ pub fn gsks_contract_8x4(
     }
 }
 
+/// `true` if this CPU additionally supports the 8-wide AVX-512 variants
+/// (the baseline vector kernels require only AVX2+FMA). Immutable for the
+/// process lifetime, like [`cpu_supported`]; gated by the same
+/// `KFDS_SIMD` kill-switch through [`active`].
+pub fn avx512_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
-pub(crate) use x86::{axpy_avx2, dgemm_tile_avx2, dgemv_add_avx2, dot_avx2};
+pub(crate) use x86::{
+    axpy_avx2, dgemm_tile_avx2, dgemv_add_avx2, dgemv_t_avx2, dgemv_t_avx512, dot_avx2,
+};
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
@@ -467,6 +484,182 @@ mod x86 {
                 *y.add(i) += xa * *col.add(i);
                 i += 1;
             }
+            j += 1;
+        }
+    }
+
+    /// AVX-512 variant of [`dgemv_t_avx2`]: same 4-column blocking with
+    /// two accumulators per column, but 8-wide lanes (16 rows per
+    /// iteration). Selected when the CPU additionally reports `avx512f`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F. Same layout contract as [`dgemv_t_avx2`].
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn dgemv_t_avx512(
+        m: usize,
+        n: usize,
+        alpha: f64,
+        a: *const f64,
+        lda: usize,
+        x: *const f64,
+        y: *mut f64,
+    ) {
+        let mut j = 0;
+        while j + 4 <= n {
+            let c0 = a.add(j * lda);
+            let c1 = a.add((j + 1) * lda);
+            let c2 = a.add((j + 2) * lda);
+            let c3 = a.add((j + 3) * lda);
+            let mut s00 = _mm512_setzero_pd();
+            let mut s01 = _mm512_setzero_pd();
+            let mut s10 = _mm512_setzero_pd();
+            let mut s11 = _mm512_setzero_pd();
+            let mut s20 = _mm512_setzero_pd();
+            let mut s21 = _mm512_setzero_pd();
+            let mut s30 = _mm512_setzero_pd();
+            let mut s31 = _mm512_setzero_pd();
+            let mut i = 0;
+            while i + 16 <= m {
+                let x0 = _mm512_loadu_pd(x.add(i));
+                let x1 = _mm512_loadu_pd(x.add(i + 8));
+                s00 = _mm512_fmadd_pd(_mm512_loadu_pd(c0.add(i)), x0, s00);
+                s01 = _mm512_fmadd_pd(_mm512_loadu_pd(c0.add(i + 8)), x1, s01);
+                s10 = _mm512_fmadd_pd(_mm512_loadu_pd(c1.add(i)), x0, s10);
+                s11 = _mm512_fmadd_pd(_mm512_loadu_pd(c1.add(i + 8)), x1, s11);
+                s20 = _mm512_fmadd_pd(_mm512_loadu_pd(c2.add(i)), x0, s20);
+                s21 = _mm512_fmadd_pd(_mm512_loadu_pd(c2.add(i + 8)), x1, s21);
+                s30 = _mm512_fmadd_pd(_mm512_loadu_pd(c3.add(i)), x0, s30);
+                s31 = _mm512_fmadd_pd(_mm512_loadu_pd(c3.add(i + 8)), x1, s31);
+                i += 16;
+            }
+            if i + 8 <= m {
+                let x0 = _mm512_loadu_pd(x.add(i));
+                s00 = _mm512_fmadd_pd(_mm512_loadu_pd(c0.add(i)), x0, s00);
+                s10 = _mm512_fmadd_pd(_mm512_loadu_pd(c1.add(i)), x0, s10);
+                s20 = _mm512_fmadd_pd(_mm512_loadu_pd(c2.add(i)), x0, s20);
+                s30 = _mm512_fmadd_pd(_mm512_loadu_pd(c3.add(i)), x0, s30);
+                i += 8;
+            }
+            let mut d0 = _mm512_reduce_add_pd(_mm512_add_pd(s00, s01));
+            let mut d1 = _mm512_reduce_add_pd(_mm512_add_pd(s10, s11));
+            let mut d2 = _mm512_reduce_add_pd(_mm512_add_pd(s20, s21));
+            let mut d3 = _mm512_reduce_add_pd(_mm512_add_pd(s30, s31));
+            while i < m {
+                let xv = *x.add(i);
+                d0 += *c0.add(i) * xv;
+                d1 += *c1.add(i) * xv;
+                d2 += *c2.add(i) * xv;
+                d3 += *c3.add(i) * xv;
+                i += 1;
+            }
+            *y.add(j) = alpha * d0;
+            *y.add(j + 1) = alpha * d1;
+            *y.add(j + 2) = alpha * d2;
+            *y.add(j + 3) = alpha * d3;
+            j += 4;
+        }
+        while j < n {
+            let col = a.add(j * lda);
+            let mut s0 = _mm512_setzero_pd();
+            let mut i = 0;
+            while i + 8 <= m {
+                s0 = _mm512_fmadd_pd(_mm512_loadu_pd(col.add(i)), _mm512_loadu_pd(x.add(i)), s0);
+                i += 8;
+            }
+            let mut d = _mm512_reduce_add_pd(s0);
+            while i < m {
+                d += *col.add(i) * *x.add(i);
+                i += 1;
+            }
+            *y.add(j) = alpha * d;
+            j += 1;
+        }
+    }
+
+    /// `y[j] = alpha * dot(A[:, j], x)` for column-major `A` (`m x n`,
+    /// stride `lda`), four columns per pass with two FMA accumulators per
+    /// column — eight independent chains, and each load of `x` amortizes
+    /// four column streams. This is the transpose counterpart of
+    /// [`dgemv_add_avx2`]: the per-pivot `F` accumulation of the blocked
+    /// CPQR is wall-to-wall these products.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA. `a` must expose `lda*(n-1)+m` elements, `x` at
+    /// least `m`, `y` at least `n`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dgemv_t_avx2(
+        m: usize,
+        n: usize,
+        alpha: f64,
+        a: *const f64,
+        lda: usize,
+        x: *const f64,
+        y: *mut f64,
+    ) {
+        let mut j = 0;
+        while j + 4 <= n {
+            let c0 = a.add(j * lda);
+            let c1 = a.add((j + 1) * lda);
+            let c2 = a.add((j + 2) * lda);
+            let c3 = a.add((j + 3) * lda);
+            let mut s00 = _mm256_setzero_pd();
+            let mut s01 = _mm256_setzero_pd();
+            let mut s10 = _mm256_setzero_pd();
+            let mut s11 = _mm256_setzero_pd();
+            let mut s20 = _mm256_setzero_pd();
+            let mut s21 = _mm256_setzero_pd();
+            let mut s30 = _mm256_setzero_pd();
+            let mut s31 = _mm256_setzero_pd();
+            let mut i = 0;
+            while i + 8 <= m {
+                let x0 = _mm256_loadu_pd(x.add(i));
+                let x1 = _mm256_loadu_pd(x.add(i + 4));
+                s00 = _mm256_fmadd_pd(_mm256_loadu_pd(c0.add(i)), x0, s00);
+                s01 = _mm256_fmadd_pd(_mm256_loadu_pd(c0.add(i + 4)), x1, s01);
+                s10 = _mm256_fmadd_pd(_mm256_loadu_pd(c1.add(i)), x0, s10);
+                s11 = _mm256_fmadd_pd(_mm256_loadu_pd(c1.add(i + 4)), x1, s11);
+                s20 = _mm256_fmadd_pd(_mm256_loadu_pd(c2.add(i)), x0, s20);
+                s21 = _mm256_fmadd_pd(_mm256_loadu_pd(c2.add(i + 4)), x1, s21);
+                s30 = _mm256_fmadd_pd(_mm256_loadu_pd(c3.add(i)), x0, s30);
+                s31 = _mm256_fmadd_pd(_mm256_loadu_pd(c3.add(i + 4)), x1, s31);
+                i += 8;
+            }
+            if i + 4 <= m {
+                let x0 = _mm256_loadu_pd(x.add(i));
+                s00 = _mm256_fmadd_pd(_mm256_loadu_pd(c0.add(i)), x0, s00);
+                s10 = _mm256_fmadd_pd(_mm256_loadu_pd(c1.add(i)), x0, s10);
+                s20 = _mm256_fmadd_pd(_mm256_loadu_pd(c2.add(i)), x0, s20);
+                s30 = _mm256_fmadd_pd(_mm256_loadu_pd(c3.add(i)), x0, s30);
+                i += 4;
+            }
+            let hsum = |v: __m256d| -> f64 {
+                let lo = _mm256_castpd256_pd128(v);
+                let hi = _mm256_extractf128_pd(v, 1);
+                let q = _mm_add_pd(lo, hi);
+                _mm_cvtsd_f64(_mm_add_sd(q, _mm_unpackhi_pd(q, q)))
+            };
+            let mut d0 = hsum(_mm256_add_pd(s00, s01));
+            let mut d1 = hsum(_mm256_add_pd(s10, s11));
+            let mut d2 = hsum(_mm256_add_pd(s20, s21));
+            let mut d3 = hsum(_mm256_add_pd(s30, s31));
+            while i < m {
+                let xv = *x.add(i);
+                d0 += *c0.add(i) * xv;
+                d1 += *c1.add(i) * xv;
+                d2 += *c2.add(i) * xv;
+                d3 += *c3.add(i) * xv;
+                i += 1;
+            }
+            *y.add(j) = alpha * d0;
+            *y.add(j + 1) = alpha * d1;
+            *y.add(j + 2) = alpha * d2;
+            *y.add(j + 3) = alpha * d3;
+            j += 4;
+        }
+        while j < n {
+            let col = std::slice::from_raw_parts(a.add(j * lda), m);
+            let xs = std::slice::from_raw_parts(x, m);
+            *y.add(j) = alpha * dot_avx2(col, xs);
             j += 1;
         }
     }

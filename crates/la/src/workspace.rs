@@ -77,11 +77,15 @@ pub fn set_pool_enabled(on: bool) {
 
 struct Pool {
     free: [Vec<Vec<f64>>; NUM_CLASSES],
+    /// Index-buffer free lists (`Vec<usize>`), same class geometry. Used
+    /// by skeletonization for the per-node column-union lists.
+    free_idx: [Vec<Vec<usize>>; NUM_CLASSES],
 }
 
 thread_local! {
     static POOL: RefCell<Pool> = const { RefCell::new(Pool {
         free: [const { Vec::new() }; NUM_CLASSES],
+        free_idx: [const { Vec::new() }; NUM_CLASSES],
     }) };
 }
 
@@ -265,6 +269,75 @@ impl std::ops::DerefMut for WsVec {
 pub fn take(len: usize) -> WsVec {
     let (buf, init_len) = take_raw(len);
     WsVec { buf, init_len }
+}
+
+/// A pooled **index** scratch buffer (`Vec<usize>`); starts empty with at
+/// least the requested capacity and returns itself to the pool on drop.
+///
+/// Unlike [`WsVec`], this derefs to the `Vec` itself so consumers can
+/// `push`/`extend` into it (the union-of-children column lists built
+/// during skeletonization). Growth past the reserved capacity is allowed —
+/// the buffer is refiled by its final capacity.
+pub struct WsIdx {
+    buf: Vec<usize>,
+}
+
+impl std::ops::Deref for WsIdx {
+    type Target = Vec<usize>;
+    #[inline]
+    fn deref(&self) -> &Vec<usize> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for WsIdx {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Vec<usize> {
+        &mut self.buf
+    }
+}
+
+impl Drop for WsIdx {
+    fn drop(&mut self) {
+        if !enabled() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        let Some(class) = class_for_buffer(buf.capacity()) else {
+            return;
+        };
+        buf.clear();
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.free_idx[class].len() < MAX_PER_CLASS {
+                pool.free_idx[class].push(buf);
+            }
+        });
+    }
+}
+
+/// Takes an empty index buffer with capacity for at least `cap` entries.
+pub fn take_idx(cap: usize) -> WsIdx {
+    if !enabled() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return WsIdx { buf: Vec::with_capacity(cap) };
+    }
+    let Some(class) = class_for_request(cap.max(1)) else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return WsIdx { buf: Vec::with_capacity(cap) };
+    };
+    let recycled = POOL.with(|p| p.borrow_mut().free_idx[class].pop());
+    match recycled {
+        Some(buf) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            debug_assert!(buf.is_empty() && buf.capacity() >= cap);
+            WsIdx { buf }
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            WsIdx { buf: Vec::with_capacity(class_len(class)) }
+        }
+    }
 }
 
 /// Takes a zero-filled scratch buffer of `len` elements.
@@ -460,6 +533,21 @@ mod tests {
         let m = Mat::from_col_major(8, 6, v);
         assert_eq!(m.nrows(), 8);
         recycle_mat(m);
+    }
+
+    #[test]
+    fn idx_pool_roundtrip_hits_and_clears() {
+        {
+            let mut w = take_idx(100);
+            w.extend(0..100);
+            assert_eq!(w.len(), 100);
+        }
+        let (h0, _) = stats();
+        let w = take_idx(120); // same 128-entry class
+        assert!(w.is_empty(), "recycled index buffer must come back empty");
+        assert!(w.capacity() >= 120);
+        let (h1, _) = stats();
+        assert!(h1 > h0, "second take of the class should hit");
     }
 
     #[test]

@@ -228,7 +228,18 @@ fn simd_blas_matches_scalar() {
             );
         }
     }
-    for &(m, n) in &[(1usize, 1usize), (3, 5), (4, 4), (5, 3), (17, 9), (64, 33), (128, 1)] {
+    for &(m, n) in &[
+        (1usize, 1usize),
+        (3, 5),
+        (4, 4),
+        (5, 3),
+        (8, 4),
+        (9, 5),
+        (17, 9),
+        (33, 7),
+        (64, 33),
+        (128, 1),
+    ] {
         let a = Mat::from_fn(m, n, |i, j| ((i * 3 + j * 5) as f64 * 0.21).sin());
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.43).cos()).collect();
         let xt: Vec<f64> = (0..m).map(|i| (i as f64 * 0.29).sin()).collect();
@@ -256,6 +267,23 @@ fn simd_blas_matches_scalar() {
             assert!(
                 (yt_simd[j] - yt_scalar[j]).abs() <= tol * (1.0 + yt_scalar[j].abs()),
                 "gemv_t ({m},{n}) row {j}"
+            );
+        }
+
+        // beta == 0 takes the dedicated multi-column transposed kernels
+        // (dgemv_t_avx512 / dgemv_t_avx2); exercise that path too.
+        let mut yt0_simd = vec![f64::NAN; n];
+        kfds_la::blas2::gemv_t(1.5, a.rb(), &xt, 0.0, &mut yt0_simd);
+        let yt0_scalar = {
+            let _off = SimdOff::new();
+            let mut yt = vec![f64::NAN; n];
+            kfds_la::blas2::gemv_t(1.5, a.rb(), &xt, 0.0, &mut yt);
+            yt
+        };
+        for j in 0..n {
+            assert!(
+                (yt0_simd[j] - yt0_scalar[j]).abs() <= tol * (1.0 + yt0_scalar[j].abs()),
+                "gemv_t beta=0 ({m},{n}) row {j}"
             );
         }
     }
