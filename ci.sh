@@ -3,19 +3,41 @@
 #
 #   ./ci.sh            # everything
 #   ./ci.sh --fast     # skip the release build
+#   ./ci.sh --miri     # additionally run the Miri lane (needs nightly + miri)
+#   ./ci.sh --tsan     # additionally run the ThreadSanitizer lane
+#                      # (needs nightly + rust-src; see DESIGN.md §7)
 #
 # Mirrors what a hosted pipeline would run; keep it green before pushing.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+miri=0
+tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    --miri) miri=1 ;;
+    --tsan) tsan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# Does the nightly toolchain have a given component (miri, rust-src)?
+nightly_has() {
+  rustup component list --toolchain nightly --installed 2>/dev/null | grep -q "^$1"
+}
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== kfds-lint (SAFETY comments, switch registry, hot-path allocs, unsafe preconditions) =="
+# The machine-checked safety invariants — see DESIGN.md §7. Always on:
+# the lint is pure source analysis and takes well under a second.
+cargo run -q -p xtask -- lint
 
 if [[ $fast -eq 0 ]]; then
   echo "== cargo build --release =="
@@ -32,6 +54,34 @@ echo "== cargo test (workspace, KFDS_CPQR=unblocked + KFDS_EVAL_GEMM=off — BLA
 # The legacy one-reflector CPQR and the scalar kernel-block assembly are the
 # bitwise reference for the blocked setup pipeline; keep them green.
 KFDS_CPQR=unblocked KFDS_EVAL_GEMM=off cargo test -q --workspace
+
+if [[ $miri -eq 1 ]]; then
+  echo "== miri lane (kfds-la deterministic suite under the interpreter) =="
+  # Checks the raw-pointer/`set_len` unsafe core for UB. SIMD dispatch is
+  # hard-wired scalar under Miri (`cpu_supported()` returns false), and the
+  # proptest suite is compiled out (`#![cfg(not(miri))]` in props.rs).
+  if nightly_has miri; then
+    cargo +nightly miri test -p kfds-la --test miri
+  else
+    echo "WARNING: skipping Miri lane — 'miri' component not installed on the"
+    echo "         nightly toolchain (rustup component add --toolchain nightly miri)."
+  fi
+fi
+
+if [[ $tsan -eq 1 ]]; then
+  echo "== tsan lane (kfds-rt + kfds-serve under ThreadSanitizer) =="
+  # Race-checks the channel runtime and the serve queue/cache/shutdown
+  # paths; the loom stress tests give the detector real interleavings to
+  # observe. Needs -Zbuild-std, hence nightly + the rust-src component.
+  if nightly_has rust-src; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+      -p kfds-rt -p kfds-serve
+  else
+    echo "WARNING: skipping TSan lane — 'rust-src' component not installed on the"
+    echo "         nightly toolchain (rustup component add --toolchain nightly rust-src)."
+  fi
+fi
 
 echo "== dispatch checks (simd, cpqr, gemm eval) =="
 # Fails if this host supports AVX2+FMA but the vector kernels silently

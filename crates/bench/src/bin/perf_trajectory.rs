@@ -206,7 +206,7 @@ fn main() {
 ///   **failure**: the BLAS-3 setup path silently fell back.
 fn dispatch_check() -> i32 {
     let feats = simd::detected_features();
-    let env_off = std::env::var_os("KFDS_SIMD").is_some_and(|v| v == "off" || v == "0");
+    let env_off = kfds_switches::KFDS_SIMD.is_off();
     if env_off {
         eprintln!("simd check: KFDS_SIMD=off requested, scalar paths active ({feats})");
     } else if simd::cpu_supported() && !simd::active() {
@@ -222,8 +222,7 @@ fn dispatch_check() -> i32 {
     // Blocked-setup gate: with no opt-out in the environment, the blocked
     // CPQR must (a) report active and (b) actually take the panel path for
     // a factorization above the dispatch threshold.
-    let cpqr_env_off =
-        std::env::var_os("KFDS_CPQR").is_some_and(|v| v == "unblocked" || v == "off" || v == "0");
+    let cpqr_env_off = kfds_switches::KFDS_CPQR.is_off();
     if cpqr_env_off {
         eprintln!("cpqr check: KFDS_CPQR=unblocked requested, BLAS-2 path active");
     } else {
@@ -240,7 +239,7 @@ fn dispatch_check() -> i32 {
         eprintln!("cpqr check: blocked panel path active");
     }
 
-    let eval_env_off = std::env::var_os("KFDS_EVAL_GEMM").is_some_and(|v| v == "off" || v == "0");
+    let eval_env_off = kfds_switches::KFDS_EVAL_GEMM.is_off();
     if eval_env_off {
         eprintln!("eval check: KFDS_EVAL_GEMM=off requested, scalar block assembly active");
     } else if !kfds_kernels::gemm_eval_active() {

@@ -59,6 +59,8 @@ impl<K: Kernel + 'static> SharedFactor<K> {
         // outlive it — field order), neither type has interior mutability,
         // and no method returns a reference outliving `&self`.
         let st_ref: &'static SkeletonTree = unsafe { &*Arc::as_ptr(&st) };
+        // SAFETY: identical argument for the kernel Arc — stored in
+        // `SharedInner._kernel`, declared after `ft`, so it outlives it.
         let k_ref: &'static K = unsafe { &*Arc::as_ptr(&kernel) };
         let ft = factorize(st_ref, k_ref, config)?;
         Ok(SharedFactor { inner: Arc::new(SharedInner { ft, _st: st, _kernel: kernel }) })

@@ -28,7 +28,7 @@ static ENV_INIT: Once = Once::new();
 #[inline]
 pub fn gemm_eval_active() -> bool {
     ENV_INIT.call_once(|| {
-        if std::env::var_os("KFDS_EVAL_GEMM").is_some_and(|v| v == "off" || v == "0") {
+        if kfds_switches::KFDS_EVAL_GEMM.is_off() {
             GEMM_EVAL.store(false, Ordering::Relaxed);
         }
     });

@@ -51,8 +51,7 @@ static BLOCKED_FACTORS: AtomicU64 = AtomicU64::new(0);
 #[inline]
 pub fn blocked_active() -> bool {
     ENV_INIT.call_once(|| {
-        if std::env::var_os("KFDS_CPQR").is_some_and(|v| v == "unblocked" || v == "off" || v == "0")
-        {
+        if kfds_switches::KFDS_CPQR.is_off() {
             CPQR_BLOCKED.store(false, Ordering::Relaxed);
         }
     });

@@ -184,7 +184,11 @@ impl Mat {
     }
 
     /// Swaps columns `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
     pub fn swap_cols(&mut self, a: usize, b: usize) {
+        assert!(a < self.ncols && b < self.ncols, "column swap out of range");
         if a == b {
             return;
         }
@@ -194,7 +198,13 @@ impl Mat {
     }
 
     /// Swaps rows `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range (an out-of-range row index
+    /// smaller than `data.len()` would otherwise silently swap elements
+    /// of the *next* column).
     pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.nrows && b < self.nrows, "row swap out of range");
         if a == b {
             return;
         }
@@ -352,6 +362,9 @@ pub struct MatMut<'a> {
 // produced by the splitting methods never overlap element-wise, so moving
 // them to other threads (rayon::join over row/column panels) is sound.
 unsafe impl Send for MatMut<'_> {}
+// SAFETY: `&MatMut` exposes no mutation (all writes take `&mut self`), so
+// sharing the view across threads is no more capable than sharing
+// `&&mut [f64]`, which is Sync because f64 is.
 unsafe impl Sync for MatMut<'_> {}
 
 impl<'a> MatMut<'a> {

@@ -64,7 +64,7 @@ static ENV_INIT: Once = Once::new();
 #[inline]
 fn enabled() -> bool {
     ENV_INIT.call_once(|| {
-        if std::env::var_os("KFDS_SIMD").is_some_and(|v| v == "off" || v == "0") {
+        if kfds_switches::KFDS_SIMD.is_off() {
             SIMD_ENABLED.store(false, Ordering::Relaxed);
         }
     });
@@ -83,7 +83,14 @@ pub fn set_simd_enabled(on: bool) {
 /// `true` if this CPU supports the vector kernels (x86-64 with AVX2+FMA).
 /// Immutable for the process lifetime — [`active`] implies this, which is
 /// what makes capturing the dispatch decision once per call sound.
+///
+/// Always `false` under Miri: the interpreter does not implement the AVX
+/// intrinsics, so the Miri lane checks the scalar paths (where all the
+/// raw-pointer/`set_len` reasoning lives) and dispatch stays honest.
 pub fn cpu_supported() -> bool {
+    if cfg!(miri) {
+        return false;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
@@ -230,6 +237,9 @@ pub fn gsks_contract_8x4(
 /// process lifetime, like [`cpu_supported`]; gated by the same
 /// `KFDS_SIMD` kill-switch through [`active`].
 pub fn avx512_supported() -> bool {
+    if cfg!(miri) {
+        return false; // no AVX-512 intrinsics in the interpreter
+    }
     #[cfg(target_arch = "x86_64")]
     {
         is_x86_feature_detected!("avx512f")
@@ -269,6 +279,9 @@ mod x86 {
         c: *mut f64,
         ldc: usize,
     ) {
+        debug_assert!(super::cpu_supported(), "dgemm_tile_avx2 needs AVX2+FMA");
+        debug_assert!(!ap.is_null() && !bp.is_null() && !c.is_null());
+        debug_assert!(ldc >= 8, "C tile columns (8 rows) would overlap: ldc = {ldc}");
         let mut acc = [[_mm256_setzero_pd(); 2]; 6];
         for k in 0..kc {
             let a0 = _mm256_loadu_pd(ap.add(8 * k));
@@ -296,6 +309,8 @@ mod x86 {
     /// Requires AVX2+FMA; `xr` must hold `8*d` and `yct` `4*d` elements.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn gsks_tile_avx2(xr: *const f64, yct: *const f64, d: usize, out: &mut [f64; 32]) {
+        debug_assert!(super::cpu_supported(), "gsks_tile_avx2 needs AVX2+FMA");
+        debug_assert!(!xr.is_null() && !yct.is_null());
         let mut acc = [_mm256_setzero_pd(); 8];
         for kk in 0..d {
             let yv = _mm256_loadu_pd(yct.add(4 * kk));
@@ -319,6 +334,8 @@ mod x86 {
     /// elements (checked by the safe caller).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn gsks_contract_avx2(tile: &[f64; 32], ut: *const f64, nrhs: usize, w: *mut f64) {
+        debug_assert!(super::cpu_supported(), "gsks_contract_avx2 needs AVX2+FMA");
+        debug_assert!(nrhs == 0 || (!ut.is_null() && !w.is_null()));
         let mut t = 0;
         while t + 4 <= nrhs {
             let u0 = _mm256_loadu_pd(ut.add(t));
@@ -441,6 +458,9 @@ mod x86 {
         x: *const f64,
         y: *mut f64,
     ) {
+        debug_assert!(super::cpu_supported(), "dgemv_add_avx2 needs AVX2+FMA");
+        debug_assert!(lda >= m || n <= 1, "A columns would overlap: lda = {lda}, m = {m}");
+        debug_assert!(n == 0 || m == 0 || (!a.is_null() && !x.is_null() && !y.is_null()));
         let mut j = 0;
         while j + 4 <= n {
             let x0 = _mm256_set1_pd(alpha * *x.add(j));
@@ -504,6 +524,9 @@ mod x86 {
         x: *const f64,
         y: *mut f64,
     ) {
+        debug_assert!(super::avx512_supported(), "dgemv_t_avx512 needs AVX-512F");
+        debug_assert!(lda >= m || n <= 1, "A columns would overlap: lda = {lda}, m = {m}");
+        debug_assert!(n == 0 || m == 0 || (!a.is_null() && !x.is_null() && !y.is_null()));
         let mut j = 0;
         while j + 4 <= n {
             let c0 = a.add(j * lda);
@@ -596,6 +619,9 @@ mod x86 {
         x: *const f64,
         y: *mut f64,
     ) {
+        debug_assert!(super::cpu_supported(), "dgemv_t_avx2 needs AVX2+FMA");
+        debug_assert!(lda >= m || n <= 1, "A columns would overlap: lda = {lda}, m = {m}");
+        debug_assert!(n == 0 || m == 0 || (!a.is_null() && !x.is_null() && !y.is_null()));
         let mut j = 0;
         while j + 4 <= n {
             let c0 = a.add(j * lda);
@@ -670,6 +696,7 @@ mod x86 {
     /// Requires AVX2+FMA.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn vexp_avx2(xs: &mut [f64]) {
+        debug_assert!(super::cpu_supported(), "vexp_avx2 needs AVX2+FMA");
         let n = xs.len();
         let p = xs.as_mut_ptr();
         let mut i = 0;
@@ -702,6 +729,10 @@ mod x86 {
     /// `x = n ln2 + r`, |r| <= ln2/2, degree-13 Taylor polynomial (Horner,
     /// truncation error < 1e-17 relative), and exponent reconstruction via
     /// integer bit manipulation.
+    ///
+    /// # Safety
+    /// `#[target_feature]`: the caller must have verified AVX2 + FMA CPU
+    /// support (all callers are themselves gated behind `cpu_supported`).
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn exp4(x: __m256d) -> __m256d {

@@ -59,7 +59,7 @@ static ENV_INIT: Once = Once::new();
 #[inline]
 fn enabled() -> bool {
     ENV_INIT.call_once(|| {
-        if std::env::var_os("KFDS_WS_POOL").is_some_and(|v| v == "off" || v == "0") {
+        if kfds_switches::KFDS_WS_POOL.is_off() {
             POOL_ENABLED.store(false, Ordering::Relaxed);
         }
     });
@@ -196,6 +196,10 @@ fn file_buffer(mut buf: Vec<f64>, init_len: usize) {
     };
     let cl = class_len(class);
     debug_assert!(init_len <= buf.capacity());
+    // Floor-class filing: the allocation always covers its class length,
+    // so the resize below never reallocates (the guards rely on buffer
+    // identity being stable across pool round-trips).
+    debug_assert!(buf.capacity() >= cl);
     // SAFETY: the first `init_len` elements of this allocation were
     // initialized by the taker (resize or full overwrite); the guards only
     // ever truncate (never reallocate, since WsVec exposes no growth API),

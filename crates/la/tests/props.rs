@@ -1,5 +1,9 @@
 //! Property-based tests for the dense linear algebra kernels.
 
+// Far too slow under the Miri interpreter (hundreds of proptest cases per
+// property); the Miri lane runs the deterministic suite in `miri.rs`.
+#![cfg(not(miri))]
+
 use kfds_la::{gemm, interp_decomp, workspace, ColPivQr, Lu, Mat, Trans};
 use proptest::prelude::*;
 use std::sync::Mutex;

@@ -164,6 +164,15 @@ impl Comm {
     }
 
     /// Broadcasts `data` from local rank `root` to every rank (in place).
+    ///
+    /// In debug builds, a receiver that arrives with a **non-empty**
+    /// buffer asserts that its length matches the root's payload — a
+    /// mismatch means the ranks disagree about the collective's shape
+    /// (the classic silent MPI bug where a straggler's stale buffer
+    /// masks a protocol error). An empty buffer means "size unknown,
+    /// accept whatever the root sends" — required when the payload
+    /// length is itself the information being broadcast (e.g. skeleton
+    /// index sets in the distributed factorization).
     pub fn bcast_f64(&self, root: usize, data: &mut Vec<f64>) {
         let me = self.rank();
         if me == root {
@@ -174,13 +183,22 @@ impl Comm {
             }
         } else {
             match self.recv_payload(root, COLLECTIVE_TAG) {
-                Payload::F64(v) => *data = v,
+                Payload::F64(v) => {
+                    debug_assert!(
+                        data.is_empty() || data.len() == v.len(),
+                        "bcast_f64 length mismatch: rank {me} pre-sized {}, root {root} sent {}",
+                        data.len(),
+                        v.len()
+                    );
+                    *data = v;
+                }
                 other => panic!("bcast type mismatch: {other:?}"),
             }
         }
     }
 
-    /// Broadcasts a `usize` vector from `root` (in place).
+    /// Broadcasts a `usize` vector from `root` (in place). Same debug
+    /// shape check as [`Comm::bcast_f64`].
     pub fn bcast_usize(&self, root: usize, data: &mut Vec<usize>) {
         let me = self.rank();
         if me == root {
@@ -191,7 +209,15 @@ impl Comm {
             }
         } else {
             match self.recv_payload(root, COLLECTIVE_TAG + 1) {
-                Payload::Usize(v) => *data = v,
+                Payload::Usize(v) => {
+                    debug_assert!(
+                        data.is_empty() || data.len() == v.len(),
+                        "bcast_usize length mismatch: rank {me} pre-sized {}, root {root} sent {}",
+                        data.len(),
+                        v.len()
+                    );
+                    *data = v;
+                }
                 other => panic!("bcast type mismatch: {other:?}"),
             }
         }
@@ -225,7 +251,9 @@ impl Comm {
 
     /// Element-wise sum reduction delivered to every rank.
     pub fn allreduce_sum(&self, data: &[f64]) -> Vec<f64> {
-        let mut out = self.reduce_sum(0, data).unwrap_or_default();
+        // Non-root ranks pre-size their receive buffer so the bcast shape
+        // check can verify all ranks agree on the reduction length.
+        let mut out = self.reduce_sum(0, data).unwrap_or_else(|| vec![0.0; data.len()]);
         self.bcast_f64(0, &mut out);
         out
     }
@@ -253,7 +281,7 @@ impl Comm {
             let base = self.world.next_comm_id.fetch_add(2, Ordering::Relaxed);
             vec![base as usize, base as usize + 1]
         } else {
-            vec![]
+            vec![0, 0] // pre-sized receive buffer (two fresh ids from rank 0)
         };
         self.bcast_usize(0, &mut ids);
         let lower = me < half;

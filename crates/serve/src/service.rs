@@ -54,7 +54,7 @@ static ENV_INIT: Once = Once::new();
 
 fn batching_enabled() -> bool {
     ENV_INIT.call_once(|| {
-        if std::env::var_os("KFDS_SERVE_BATCH").is_some_and(|v| v == "off" || v == "0") {
+        if kfds_switches::KFDS_SERVE_BATCH.is_off() {
             BATCH_ENABLED.store(false, Ordering::Relaxed);
         }
     });

@@ -1,0 +1,158 @@
+//! Loom model tests for the concurrent core of `kfds-serve`: the
+//! single-flight [`FactorCache`] (build / quarantine / evict
+//! interleavings) and the worker-queue shutdown path of
+//! [`SolveService`].
+//!
+//! The tests are written against loom's portable API (`loom::model`,
+//! `loom::thread`, `loom::sync`). Under the offline `shims/loom`
+//! stand-in, `model` runs each body `LOOM_ITERS` times (default 64) with
+//! deterministically staggered thread startup — a bounded stress search.
+//! Pointing the workspace `loom` dependency at the real crate upgrades
+//! them to exhaustive interleaving enumeration without edits.
+
+use kfds_kernels::Gaussian;
+use kfds_serve::{CacheError, FactorCache, FactorKey, ServeConfig, ServeError, SolveService};
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+fn key(name: &str) -> FactorKey {
+    FactorKey::new(name, 64, 1.0, 0.5, 7)
+}
+
+#[test]
+fn single_flight_builds_exactly_once_under_races() {
+    loom::model(|| {
+        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                thread::spawn(move || {
+                    let (v, _hit) = cache
+                        .get_or_build(&key("sf"), || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            Ok::<_, String>(42)
+                        })
+                        .expect("build succeeds");
+                    assert_eq!(v, 42, "every requester sees the built value");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("requester");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "builder ran more than once");
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.ready_len(), 1);
+    });
+}
+
+#[test]
+fn panicking_build_quarantines_exactly_once() {
+    // The builder panics. Whatever the interleaving of the concurrent
+    // requesters:
+    //   * the builder runs exactly once (single-flight holds across the
+    //     unwind);
+    //   * exactly one requester observes `BuildFailed` (the one that ran
+    //     the builder), every other one `Poisoned`;
+    //   * the key ends quarantined, not absent and not `Building` (a
+    //     `Building` residue would deadlock all future requesters).
+    loom::model(|| {
+        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2));
+        let build_failed = Arc::new(AtomicUsize::new(0));
+        let poisoned = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let build_failed = Arc::clone(&build_failed);
+                let poisoned = Arc::clone(&poisoned);
+                thread::spawn(move || {
+                    match cache
+                        .get_or_build(&key("boom"), || -> Result<u64, String> { panic!("model") })
+                    {
+                        Err(CacheError::BuildFailed(_)) => {
+                            build_failed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(CacheError::Poisoned(_)) => {
+                            poisoned.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Ok(_) => panic!("a panicking builder cannot produce a value"),
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("requester");
+        }
+        assert_eq!(cache.builds(), 1, "single-flight must hold across the unwind");
+        assert_eq!(build_failed.load(Ordering::SeqCst), 1, "exactly one builder failure");
+        assert_eq!(poisoned.load(Ordering::SeqCst), 2, "waiters must fast-fail");
+        assert_eq!(cache.poisoned_len(), 1, "the key is quarantined exactly once");
+        assert_eq!(cache.ready_len(), 0);
+        // A late requester fast-fails without re-running the builder.
+        assert!(matches!(
+            cache.get_or_build(&key("boom"), || Ok::<_, String>(1)),
+            Err(CacheError::Poisoned(_))
+        ));
+        assert_eq!(cache.builds(), 1);
+    });
+}
+
+#[test]
+fn lru_capacity_invariant_under_concurrent_inserts() {
+    loom::model(|| {
+        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2));
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let name = format!("k{i}");
+                    cache.get_or_build(&key(&name), || Ok::<_, String>(i)).expect("insert");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("inserter");
+        }
+        assert_eq!(cache.builds(), 3, "distinct keys never coalesce");
+        assert!(
+            cache.ready_len() <= 2,
+            "eviction must keep residency at capacity, found {}",
+            cache.ready_len()
+        );
+    });
+}
+
+#[test]
+fn shutdown_never_loses_a_ticket() {
+    // Submitted tickets race service shutdown: the workers may answer
+    // them (here: with the builder's failure), or the shutdown drain may
+    // answer them `ShuttingDown` — but every ticket MUST resolve. A lost
+    // ticket hangs `wait()` forever, so the model run itself is the
+    // assertion; the match documents the only legal outcomes.
+    loom::model(|| {
+        let svc = SolveService::<Gaussian>::start(
+            ServeConfig::default().with_workers(2).with_cache_capacity(2),
+            |_key| Err(ServeError::FactorizationFailed("model builder always fails".into())),
+        );
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                let k = if i % 2 == 0 { key("a") } else { key("b") };
+                svc.submit(k, vec![1.0; 4]).expect("queue is far below high water")
+            })
+            .collect();
+        let shutter = thread::spawn(move || svc.shutdown());
+        for t in tickets {
+            match t.wait() {
+                Err(ServeError::FactorizationFailed(_))
+                | Err(ServeError::Quarantined(_))
+                | Err(ServeError::ShuttingDown) => {}
+                other => panic!("ticket resolved to an impossible outcome: {other:?}"),
+            }
+        }
+        let stats = shutter.join().expect("shutdown");
+        assert_eq!(stats.queue_depth, 0, "shutdown must drain the queue");
+    });
+}

@@ -1,0 +1,479 @@
+//! The `kfds-lint` rules.
+//!
+//! Each rule consumes a scanned [`Source`] and yields [`Finding`]s. The
+//! repo invariants enforced here (see `DESIGN.md` §7 "Safety &
+//! invariants"):
+//!
+//! * **unsafe-safety** — every `unsafe` block, `unsafe fn`, and
+//!   `unsafe impl` carries a `// SAFETY:` justification (items may use a
+//!   `/// # Safety` doc section instead), adjacent above or on the line.
+//! * **env-registry** — `KFDS_*` environment variables are read only
+//!   through the `kfds-switches` registry; raw `env::var("KFDS_…")` /
+//!   `var_os` / `env!` / `option_env!` reads anywhere else are rejected.
+//!   (Writes — `set_var` in tests — are fine; the registry is the single
+//!   source of truth for *reads*.)
+//! * **hot-path-alloc** — modules on the [`HOT_PATH_MODULES`] list (the
+//!   allocation-free kernels that take scratch from
+//!   `kfds_la::workspace`) must not call `Vec::new`, `vec![…]`, or
+//!   `.to_vec()` outside `#[cfg(test)]` modules. A deliberate cold-path
+//!   exception carries a `lint:allow(hot-path-alloc)` comment on the
+//!   same or previous line.
+//! * **unsafe-preconditions** — every `pub … unsafe fn` in `kfds-la`
+//!   declares its preconditions executably: the body must contain at
+//!   least one `debug_assert!`/`assert!` family call.
+
+use crate::scan::{Source, Tok, Token};
+
+/// Modules that must stay allocation-free outside tests (the workspace
+/// pool exists precisely so these never touch the global heap on the hot
+/// path). Paths are repo-relative with `/` separators.
+pub const HOT_PATH_MODULES: &[&str] = &[
+    "crates/la/src/simd.rs",
+    "crates/la/src/blas1.rs",
+    "crates/la/src/blas2.rs",
+    "crates/kernels/src/gsks.rs",
+];
+
+/// Files allowed to read `KFDS_*` environment variables directly: the
+/// registry itself.
+pub const ENV_REGISTRY_PREFIX: &str = "crates/switches/";
+
+/// Path prefix whose public unsafe helpers must declare executable
+/// preconditions.
+pub const UNSAFE_PRECONDITION_PREFIX: &str = "crates/la/src/";
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Runs every rule that applies to `src` (path-scoped rules check
+/// `src.path` themselves).
+pub fn check_source(src: &Source) -> Vec<Finding> {
+    let mut out = rule_unsafe_safety(src);
+    if !src.path.starts_with(ENV_REGISTRY_PREFIX) {
+        out.extend(rule_env_registry(src));
+    }
+    if HOT_PATH_MODULES.contains(&src.path.as_str()) {
+        out.extend(rule_hot_path_alloc(src));
+    }
+    if src.path.starts_with(UNSAFE_PRECONDITION_PREFIX) {
+        out.extend(rule_unsafe_preconditions(src));
+    }
+    out
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Is the `unsafe` at `line` justified by an adjacent SAFETY comment?
+/// Items (`unsafe fn` / `unsafe impl`) may instead carry a `/// # Safety`
+/// doc section; attribute lines between the comment and the item are
+/// skipped.
+fn safety_covered(src: &Source, line: usize, is_item: bool) -> bool {
+    let accepts = |c: &str| c.contains("SAFETY:") || (is_item && c.contains("# Safety"));
+    if accepts(src.comment(line)) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        if src.line_has_code(l) {
+            if src.is_attr_line(l) {
+                l -= 1;
+                continue;
+            }
+            return false;
+        }
+        let c = src.comment(l);
+        if c.is_empty() {
+            return false; // blank line: the justification must be adjacent
+        }
+        if accepts(c) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// **unsafe-safety**: every `unsafe` occurrence needs a justification.
+pub fn rule_unsafe_safety(src: &Source) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in src.tokens.iter().enumerate() {
+        let Tok::Ident(id) = &t.kind else { continue };
+        if id != "unsafe" {
+            continue;
+        }
+        let next = ident_at(&src.tokens, i + 1);
+        let (is_item, what) = match next {
+            Some("fn") => (true, "unsafe fn"),
+            Some("impl") => (true, "unsafe impl"),
+            Some("trait") => (true, "unsafe trait"),
+            _ => (false, "unsafe block"),
+        };
+        if !safety_covered(src, t.line, is_item) {
+            out.push(Finding {
+                path: src.path.clone(),
+                line: t.line,
+                rule: "unsafe-safety",
+                msg: format!(
+                    "{what} without an adjacent `// SAFETY:` comment{}",
+                    if is_item { " (or `/// # Safety` doc section)" } else { "" }
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// **env-registry**: no raw reads of `KFDS_*` environment variables
+/// outside `kfds-switches`.
+pub fn rule_env_registry(src: &Source) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in src.tokens.iter().enumerate() {
+        let Tok::Str(s) = &t.kind else { continue };
+        if !s.starts_with("KFDS_") {
+            continue;
+        }
+        // `var("KFDS_…")` / `var_os("KFDS_…")` function reads.
+        let fn_read = punct_at(&src.tokens, i.wrapping_sub(1)) == Some('(')
+            && matches!(ident_at(&src.tokens, i.wrapping_sub(2)), Some("var") | Some("var_os"));
+        // `env!("KFDS_…")` / `option_env!("KFDS_…")` macro reads.
+        let macro_read = punct_at(&src.tokens, i.wrapping_sub(1)) == Some('(')
+            && punct_at(&src.tokens, i.wrapping_sub(2)) == Some('!')
+            && matches!(ident_at(&src.tokens, i.wrapping_sub(3)), Some("env") | Some("option_env"));
+        if fn_read || macro_read {
+            out.push(Finding {
+                path: src.path.clone(),
+                line: t.line,
+                rule: "env-registry",
+                msg: format!(
+                    "raw environment read of \"{s}\" — route it through the \
+                     kfds-switches registry (the single source of truth for KFDS_* switches)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Token index ranges (inclusive start, exclusive end) covered by
+/// `#[cfg(test)] mod … { … }` blocks.
+fn test_mod_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = punct_at(tokens, i) == Some('#')
+            && punct_at(tokens, i + 1) == Some('[')
+            && ident_at(tokens, i + 2) == Some("cfg")
+            && punct_at(tokens, i + 3) == Some('(')
+            && ident_at(tokens, i + 4) == Some("test")
+            && punct_at(tokens, i + 5) == Some(')')
+            && punct_at(tokens, i + 6) == Some(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the `mod` this attribute decorates (skipping further
+        // attributes), then its opening brace, then brace-match.
+        let mut j = i + 7;
+        while j < tokens.len() && ident_at(tokens, j) != Some("mod") {
+            j += 1;
+        }
+        let mut k = j;
+        while k < tokens.len() && punct_at(tokens, k) != Some('{') {
+            k += 1;
+        }
+        let mut depth = 0;
+        let mut end = k;
+        while end < tokens.len() {
+            match punct_at(tokens, end) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        regions.push((i, end + 1));
+        i = end + 1;
+    }
+    regions
+}
+
+/// **hot-path-alloc**: no `Vec::new` / `vec!` / `.to_vec()` in hot-path
+/// modules outside tests.
+pub fn rule_hot_path_alloc(src: &Source) -> Vec<Finding> {
+    let tokens = &src.tokens;
+    let regions = test_mod_regions(tokens);
+    let in_test = |i: usize| regions.iter().any(|&(s, e)| i >= s && i < e);
+    let waived = |line: usize| {
+        src.comment(line).contains("lint:allow(hot-path-alloc)")
+            || src.comment(line.saturating_sub(1)).contains("lint:allow(hot-path-alloc)")
+    };
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(id) = &t.kind else { continue };
+        if in_test(i) || waived(t.line) {
+            continue;
+        }
+        let hit = match id.as_str() {
+            // `Vec :: new(` and `Vec :: with_capacity(` — fresh heap
+            // allocations on a pool-only path.
+            "Vec" => {
+                punct_at(tokens, i + 1) == Some(':')
+                    && punct_at(tokens, i + 2) == Some(':')
+                    && matches!(ident_at(tokens, i + 3), Some("new") | Some("with_capacity"))
+            }
+            // `vec![…]` macro.
+            "vec" => punct_at(tokens, i + 1) == Some('!'),
+            // `.to_vec()`.
+            "to_vec" => punct_at(tokens, i.wrapping_sub(1)) == Some('.'),
+            _ => false,
+        };
+        if hit {
+            out.push(Finding {
+                path: src.path.clone(),
+                line: t.line,
+                rule: "hot-path-alloc",
+                msg: format!(
+                    "`{id}` allocation in a hot-path module — take scratch from \
+                     kfds_la::workspace, or waive with `// lint:allow(hot-path-alloc): why`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// **unsafe-preconditions**: `pub … unsafe fn` in `kfds-la` must assert
+/// its preconditions (at least one `debug_assert!`/`assert!` in the body).
+pub fn rule_unsafe_preconditions(src: &Source) -> Vec<Finding> {
+    let tokens = &src.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident_at(tokens, i) != Some("pub") {
+            i += 1;
+            continue;
+        }
+        // Skip a `pub(crate)` / `pub(super)` visibility scope.
+        let mut j = i + 1;
+        if punct_at(tokens, j) == Some('(') {
+            while j < tokens.len() && punct_at(tokens, j) != Some(')') {
+                j += 1;
+            }
+            j += 1;
+        }
+        if ident_at(tokens, j) != Some("unsafe") || ident_at(tokens, j + 1) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let name = ident_at(tokens, j + 2).unwrap_or("?").to_string();
+        let sig_line = tokens[j].line;
+        // Body: first `{` after the signature, brace-matched.
+        let mut k = j + 2;
+        while k < tokens.len() && punct_at(tokens, k) != Some('{') {
+            k += 1;
+        }
+        let body_start = k;
+        let mut depth = 0;
+        while k < tokens.len() {
+            match punct_at(tokens, k) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let has_assert = tokens[body_start..=k.min(tokens.len().saturating_sub(1))]
+            .iter()
+            .any(|t| matches!(&t.kind, Tok::Ident(id) if id.starts_with("debug_assert") || id.starts_with("assert")));
+        if !has_assert {
+            out.push(Finding {
+                path: src.path.clone(),
+                line: sig_line,
+                rule: "unsafe-preconditions",
+                msg: format!(
+                    "public unsafe fn `{name}` declares no executable preconditions — \
+                     add `debug_assert!`s for its index/stride/feature contract"
+                ),
+            });
+        }
+        i = k + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_str;
+
+    fn lint(path: &str, text: &str) -> Vec<Finding> {
+        check_source(&scan_str(path, text))
+    }
+
+    // --- unsafe-safety -------------------------------------------------
+
+    #[test]
+    fn unsafe_block_without_safety_comment_fails() {
+        let f = lint("crates/x/src/a.rs", "fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unsafe-safety");
+    }
+
+    #[test]
+    fn deleting_a_safety_comment_is_what_fails() {
+        // The acceptance criterion, as a pair: with the comment the file is
+        // clean; with the comment deleted (only change) it is not.
+        let with = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        let without = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert!(lint("crates/x/src/a.rs", with).is_empty());
+        assert_eq!(lint("crates/x/src/a.rs", without).len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_on_same_line_counts() {
+        let f =
+            lint("crates/x/src/a.rs", "let v = unsafe { g() }; // SAFETY: g is infallible here.\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_doc_safety_section_through_attributes() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// Caller must uphold X.\n#[inline]\npub unsafe fn g(n: usize) { debug_assert!(n > 0); }\n";
+        let f = lint("crates/x/src/a.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_impl_needs_its_own_comment() {
+        let src =
+            "// SAFETY: T is plain data.\nunsafe impl Send for A {}\nunsafe impl Sync for A {}\n";
+        let f = lint("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1, "the second impl is uncovered: {f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let src = "// this mentions unsafe code\nlet s = \"unsafe { }\";\n";
+        assert!(lint("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_safety_adjacency() {
+        let src = "// SAFETY: stale justification far above.\n\nlet v = unsafe { g() };\n";
+        assert_eq!(lint("crates/x/src/a.rs", src).len(), 1);
+    }
+
+    // --- env-registry --------------------------------------------------
+
+    #[test]
+    fn raw_kfds_env_read_fails() {
+        // The acceptance criterion: adding a raw env::var("KFDS_X") to any
+        // non-registry file is a finding.
+        let src = "fn f() -> bool { std::env::var(\"KFDS_X\").is_ok() }\n";
+        let f = lint("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "env-registry");
+    }
+
+    #[test]
+    fn var_os_and_option_env_reads_fail() {
+        let src = "fn f() { let _ = std::env::var_os(\"KFDS_SIMD\"); let _ = option_env!(\"KFDS_Y\"); }\n";
+        let f = lint("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn registry_file_and_test_set_var_are_allowed() {
+        let read = "pub fn raw(&self) -> Option<OsString> { std::env::var_os(self.name) }\n";
+        assert!(lint("crates/switches/src/lib.rs", read).is_empty());
+        let set = "fn t() { std::env::set_var(\"KFDS_SIMD\", \"off\"); std::env::remove_var(\"KFDS_SIMD\"); }\n";
+        assert!(lint("crates/x/tests/t.rs", set).is_empty());
+    }
+
+    #[test]
+    fn kfds_literal_not_passed_to_env_is_allowed() {
+        let src = "const NAME: &str = \"KFDS_SIMD\"; // doc tables etc.\n";
+        assert!(lint("crates/x/src/a.rs", src).is_empty());
+    }
+
+    // --- hot-path-alloc ------------------------------------------------
+
+    #[test]
+    fn alloc_in_hot_module_fails_but_test_mod_is_exempt() {
+        let src = "fn hot() { let v = vec![0.0; 8]; let w = Vec::new(); let u = x.to_vec(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; let w = Vec::new(); }\n}\n";
+        let f = lint("crates/la/src/simd.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "hot-path-alloc"));
+    }
+
+    #[test]
+    fn alloc_waiver_comment_is_honored() {
+        let src = "fn cold() {\n    // lint:allow(hot-path-alloc): one-time table build at init.\n    let v = vec![0.0; 8];\n}\n";
+        assert!(lint("crates/la/src/blas1.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_unlisted_module_is_fine() {
+        let src = "fn f() { let v = vec![0.0; 8]; }\n";
+        assert!(lint("crates/core/src/factor.rs", src).is_empty());
+    }
+
+    // --- unsafe-preconditions ------------------------------------------
+
+    #[test]
+    fn pub_unsafe_fn_without_assert_fails_in_la() {
+        let src = "/// # Safety\n/// p valid.\npub unsafe fn f(p: *const f64) -> f64 { *p }\n";
+        let f = lint("crates/la/src/simd.rs", src);
+        assert!(f.iter().any(|f| f.rule == "unsafe-preconditions"), "{f:?}");
+    }
+
+    #[test]
+    fn pub_crate_unsafe_fn_with_debug_assert_passes() {
+        let src = "/// # Safety\n/// p valid for n elements.\npub(crate) unsafe fn f(p: *const f64, n: usize) -> f64 {\n    debug_assert!(!p.is_null() && n > 0);\n    *p.add(n - 1)\n}\n";
+        let f = lint("crates/la/src/simd.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn precondition_rule_scoped_to_la() {
+        let src = "/// # Safety\n/// fine.\npub unsafe fn f(p: *const f64) -> f64 { *p }\n";
+        assert!(lint("crates/core/src/share.rs", src).is_empty());
+    }
+}

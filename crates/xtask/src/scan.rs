@@ -1,0 +1,371 @@
+//! A small comment/string-aware scanner for Rust source.
+//!
+//! `kfds-lint`'s rules need three views of a file that plain text search
+//! cannot provide without false positives:
+//!
+//! 1. the **token stream** with comments and string *contents* removed
+//!    (so `unsafe` inside a doc comment or a test-fixture string literal
+//!    is not an `unsafe` block);
+//! 2. the **comment text per line** (so a `// SAFETY:` justification can
+//!    be matched to the `unsafe` it covers);
+//! 3. **string literal values** with their positions (so a raw
+//!    `env::var("KFDS_…")` read can be distinguished from
+//!    `set_var("KFDS_…")` in a test).
+//!
+//! This is a lexer, not a parser: it handles line comments, nested block
+//! comments, plain/raw/byte strings, char literals vs. lifetimes, and
+//! nothing else. The lint rules pattern-match on the token stream, which
+//! is robust for the whole-word invariants they enforce (`unsafe`, `var`,
+//! `Vec :: new`, …) without needing `syn`, which the offline build
+//! environment does not provide.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub line: usize,
+    pub kind: Tok,
+}
+
+/// Token kinds the lint rules care about. Numbers, operators, and other
+/// punctuation are emitted as [`Tok::Punct`] characters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal *value* (escapes left verbatim — the rules only
+    /// prefix-match, so `\u{…}` fidelity does not matter).
+    Str(String),
+    /// Any other non-whitespace character.
+    Punct(char),
+}
+
+/// Scanned view of one source file (or fixture string).
+#[derive(Debug)]
+pub struct Source {
+    /// Repo-relative display path (fixtures use a synthetic name).
+    pub path: String,
+    pub tokens: Vec<Token>,
+    /// Concatenated comment text per line (1-based line `l` at `l - 1`);
+    /// empty string when the line has no comment.
+    pub comments: Vec<String>,
+    /// Code text per line with comments removed and string contents
+    /// blanked; used for attribute-line detection.
+    pub code: Vec<String>,
+}
+
+impl Source {
+    /// `true` if line `l` (1-based) has any code tokens. Line 0 (before
+    /// the file) has none.
+    pub fn line_has_code(&self, l: usize) -> bool {
+        l >= 1 && self.code.get(l - 1).is_some_and(|c| !c.trim().is_empty())
+    }
+
+    /// `true` if line `l` is an attribute line (`#[…]` / `#![…]`), which
+    /// may legitimately sit between a `// SAFETY:` comment and its item.
+    pub fn is_attr_line(&self, l: usize) -> bool {
+        let t = self.code.get(l - 1).map(|c| c.trim()).unwrap_or("");
+        t.starts_with("#[") || t.starts_with("#![") || t == ")]" || t == "]"
+    }
+
+    /// Comment text on line `l`, or `""` (including for line 0, before
+    /// the file).
+    pub fn comment(&self, l: usize) -> &str {
+        l.checked_sub(1).and_then(|i| self.comments.get(i)).map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Lexes `text` into a [`Source`].
+pub fn scan_str(path: &str, text: &str) -> Source {
+    let mut tokens = Vec::new();
+    let n_lines = text.lines().count().max(1);
+    let mut comments = vec![String::new(); n_lines];
+    let mut code = vec![String::new(); n_lines];
+
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+
+    // Appends to the per-line comment/code accumulators, growing them if
+    // the file ends without a trailing newline.
+    fn push_to(vec: &mut Vec<String>, line: usize, s: &str) {
+        while vec.len() < line {
+            vec.push(String::new());
+        }
+        vec[line - 1].push_str(s);
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                // Line comment (incl. doc comments): record text, skip.
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                push_to(&mut comments, line, &text);
+                i = j;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                // Block comment, possibly nested; text attributed per line.
+                let mut depth = 1;
+                let mut j = i + 2;
+                let mut seg = String::new();
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == '\n' {
+                        push_to(&mut comments, line, &seg);
+                        seg.clear();
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < bytes.len() && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < bytes.len() && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        seg.push(bytes[j]);
+                        j += 1;
+                    }
+                }
+                push_to(&mut comments, line, &seg);
+                i = j;
+            }
+            '"' => {
+                let (value, next_i, next_line) = lex_plain_string(&bytes, i, line);
+                push_to(&mut code, line, "\"…\"");
+                tokens.push(Token { line, kind: Tok::Str(value) });
+                line = next_line;
+                i = next_i;
+            }
+            'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                let (value, next_i, next_line) = lex_raw_string(&bytes, i, line);
+                push_to(&mut code, line, "r\"…\"");
+                tokens.push(Token { line, kind: Tok::Str(value) });
+                line = next_line;
+                i = next_i;
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal closes with a
+                // `'` after one (possibly escaped) character; a lifetime
+                // does not.
+                if let Some(next_i) = char_literal_end(&bytes, i) {
+                    push_to(&mut code, line, "'…'");
+                    i = next_i;
+                } else {
+                    // Lifetime: consume the quote, the identifier lexes next.
+                    push_to(&mut code, line, "'");
+                    i += 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = bytes[start..j].iter().collect();
+                push_to(&mut code, line, &ident);
+                push_to(&mut code, line, " ");
+                tokens.push(Token { line, kind: Tok::Ident(ident) });
+                i = j;
+            }
+            c if c.is_whitespace() => {
+                push_to(&mut code, line, " ");
+                i += 1;
+            }
+            c => {
+                push_to(&mut code, line, &c.to_string());
+                tokens.push(Token { line, kind: Tok::Punct(c) });
+                i += 1;
+            }
+        }
+    }
+
+    // Align accumulator lengths (files without trailing newline).
+    let max = comments.len().max(code.len());
+    comments.resize(max, String::new());
+    code.resize(max, String::new());
+
+    Source { path: path.to_string(), tokens, comments, code }
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `br#"…"#` starts.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+fn lex_plain_string(b: &[char], i: usize, mut line: usize) -> (String, usize, usize) {
+    let mut j = i + 1;
+    let mut value = String::new();
+    while j < b.len() {
+        match b[j] {
+            '\\' if j + 1 < b.len() => {
+                value.push(b[j]);
+                value.push(b[j + 1]);
+                if b[j + 1] == '\n' {
+                    line += 1;
+                }
+                j += 2;
+            }
+            '"' => return (value, j + 1, line),
+            '\n' => {
+                value.push('\n');
+                line += 1;
+                j += 1;
+            }
+            c => {
+                value.push(c);
+                j += 1;
+            }
+        }
+    }
+    (value, j, line)
+}
+
+fn lex_raw_string(b: &[char], i: usize, mut line: usize) -> (String, usize, usize) {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut value = String::new();
+    while j < b.len() {
+        if b[j] == '"' {
+            // Close only when followed by `hashes` '#' characters.
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < b.len() && seen < hashes && b[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (value, k, line);
+            }
+        }
+        if b[j] == '\n' {
+            line += 1;
+        }
+        value.push(b[j]);
+        j += 1;
+    }
+    (value, j, line)
+}
+
+/// If position `i` (at a `'`) starts a char literal, returns the index
+/// one past its closing quote; `None` for lifetimes.
+fn char_literal_end(b: &[char], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == '\\' {
+        // Escaped char: skip to the closing quote.
+        j += 2;
+        while j < b.len() && b[j] != '\'' && b[j] != '\n' {
+            j += 1;
+        }
+        return if j < b.len() && b[j] == '\'' { Some(j + 1) } else { None };
+    }
+    // Unescaped: exactly one char then a quote, else it is a lifetime
+    // (`'a`) or a loop label (`'outer:`).
+    if b[j] != '\'' && j + 1 < b.len() && b[j + 1] == '\'' {
+        return Some(j + 2);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &Source) -> Vec<&str> {
+        src.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let s = scan_str("t.rs", "// unsafe here\nlet x = 1; /* unsafe too */\n");
+        assert!(!idents(&s).contains(&"unsafe"));
+        assert!(s.comment(1).contains("unsafe here"));
+        assert!(s.comment(2).contains("unsafe too"));
+        assert!(s.line_has_code(2));
+        assert!(!s.line_has_code(1));
+    }
+
+    #[test]
+    fn string_contents_are_not_code() {
+        let s = scan_str("t.rs", "let x = \"unsafe { }\"; let y = r#\"vec![]\"#;\n");
+        assert!(!idents(&s).contains(&"unsafe"));
+        assert!(!idents(&s).contains(&"vec"));
+        let strs: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Str(v) => Some(v.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["unsafe { }", "vec![]"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan_str("t.rs", "fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        let ids = idents(&s);
+        assert!(ids.contains(&"a"), "lifetime ident lexes");
+        assert!(ids.contains(&"str"));
+        // The 'x' char literal must not swallow the closing brace.
+        assert!(s.tokens.iter().any(|t| t.kind == Tok::Punct('}')));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let s = scan_str("t.rs", "/* a /* b */ still comment */ fn f() {}\n");
+        assert_eq!(idents(&s), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn multiline_block_comment_attributes_lines() {
+        let s = scan_str("t.rs", "/* SAFETY: one\n   two */\nunsafe {}\n");
+        assert!(s.comment(1).contains("SAFETY"));
+        assert!(s.comment(2).contains("two"));
+        assert_eq!(s.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn attr_lines_detected() {
+        let s = scan_str("t.rs", "#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}\n");
+        assert!(s.is_attr_line(1));
+        assert!(!s.is_attr_line(2));
+    }
+}

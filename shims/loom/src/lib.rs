@@ -1,0 +1,144 @@
+//! Offline stand-in for the `loom` permutation-testing crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of loom's API the workspace's concurrency model tests use —
+//! [`model`], [`thread`], [`sync`], [`hint`] — with **bounded stress-based
+//! exploration** instead of loom's exhaustive DPOR search:
+//!
+//! * [`model`] runs the test body many times (`LOOM_ITERS`, default 64)
+//!   rather than once per distinct interleaving;
+//! * [`thread::spawn`] staggers thread startup with a deterministic,
+//!   iteration-seeded number of yields, so successive iterations bias the
+//!   scheduler toward different interleavings;
+//! * the [`sync`] types are the `std::sync` primitives re-exported (loom's
+//!   versions are instrumented; std's are the real thing, which is what a
+//!   stress run wants).
+//!
+//! The result is strictly weaker than real loom — it samples the
+//! interleaving space instead of enumerating it — but the tests written
+//! against this shim use only loom-portable API, so pointing the `loom`
+//! workspace dependency at the real crate upgrades them to exhaustive
+//! model checking without edits. Until then they serve as fast,
+//! deterministic-input stress tests that run in every `cargo test`
+//! invocation (and under the TSan lane, where the schedule sampling gives
+//! the race detector real concurrency to observe).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Seed of the current model iteration; consumed by [`thread::spawn`] to
+/// vary thread-startup staggering between iterations.
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Per-spawn counter within an iteration, folded into the stagger so
+/// sibling threads do not all yield identically.
+static SPAWN_SALT: AtomicU64 = AtomicU64::new(0);
+
+/// SplitMix64 — a tiny, high-quality deterministic mixer; no external RNG.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How many iterations a [`model`] call runs. Overridable with
+/// `LOOM_ITERS` (the real loom uses `LOOM_*` variables the same way).
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Runs `f` under bounded interleaving exploration: `LOOM_ITERS`
+/// repetitions, each with a distinct deterministic schedule seed that
+/// [`thread::spawn`] uses to stagger thread startup.
+///
+/// Mirrors `loom::model`'s signature so tests compile unchanged against
+/// the real crate. The closure must set up all shared state itself (it is
+/// re-run from scratch each iteration).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for i in 0..iterations() {
+        SCHEDULE_SEED.store(splitmix(i), Ordering::Relaxed);
+        SPAWN_SALT.store(0, Ordering::Relaxed);
+        f();
+    }
+}
+
+pub mod thread {
+    //! Thread spawning with iteration-seeded startup staggering.
+
+    use super::{splitmix, Ordering, SCHEDULE_SEED, SPAWN_SALT};
+
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawns a real OS thread whose body first yields a
+    /// seed-and-spawn-index dependent number of times, so different model
+    /// iterations release sibling threads in different orders.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let salt = SPAWN_SALT.fetch_add(1, Ordering::Relaxed);
+        let seed = SCHEDULE_SEED.load(Ordering::Relaxed);
+        let stagger = splitmix(seed ^ (salt.wrapping_mul(0xa076_1d64_78bd_642f))) % 8;
+        std::thread::spawn(move || {
+            for _ in 0..stagger {
+                std::thread::yield_now();
+            }
+            f()
+        })
+    }
+}
+
+pub mod sync {
+    //! `std::sync` primitives under loom's module paths.
+
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+}
+
+pub mod hint {
+    /// Scheduling hint; a real yield here maximizes interleaving variety.
+    pub fn spin_loop() {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_body_iterations_times() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        model(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst) as u64, super::iterations());
+    }
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || v.fetch_add(1, Ordering::SeqCst))
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 4);
+        });
+    }
+}
