@@ -83,14 +83,17 @@ if [[ $tsan -eq 1 ]]; then
   fi
 fi
 
-echo "== dispatch checks (simd, cpqr, gemm eval) =="
+echo "== dispatch checks (simd, cpqr, gemm eval, knn) =="
 # Fails if this host supports AVX2+FMA but the vector kernels silently
-# fell back to scalar, or if the blocked CPQR / GEMM eval paths silently
-# deactivated (dispatch or build regression).
+# fell back to scalar, or if the blocked CPQR / GEMM eval / GEMM-tile kNN
+# paths silently deactivated (dispatch or build regression). The knn gate
+# runs separately so a neighbor-search regression is named in the output.
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check
+  cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check knn
 else
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check
+  cargo run -q -p kfds-bench --bin perf_trajectory -- --check knn
 fi
 
 echo "== kfds-serve smoke =="

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the blocked vs scalar kNN paths.
+//!
+//! Covers both search modes across the shapes the solver harness actually
+//! uses: exact dual-tree search at moderate ambient dimension (the Table
+//! III COVTYPE route) and randomized-projection approximate search at
+//! d = 64 (the route `harness_skel_config` picks for dim >= 64). Each
+//! shape runs under both `KFDS_KNN` states via the runtime override, so
+//! one binary reports the A/B pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfds_tree::datasets::normal_embedded;
+use kfds_tree::{knn_all, knn_approximate, set_knn_blocked, BallTree};
+use std::hint::black_box;
+
+fn bench_knn_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_shapes");
+    group.sample_size(10);
+
+    // Exact dual-tree vs per-query descent.
+    for &(n, intrinsic, d) in &[(4096usize, 4usize, 16usize), (4096, 8, 54)] {
+        let pts = normal_embedded(n, intrinsic, d, 0.1, 17);
+        let tree = BallTree::build(&pts, 128);
+        for &blocked in &[true, false] {
+            set_knn_blocked(blocked);
+            let tag = if blocked { "blocked" } else { "scalar" };
+            group.bench_function(format!("exact16_n{n}_d{d}_{tag}"), |b| {
+                b.iter(|| black_box(knn_all(&tree, 16).k()))
+            });
+        }
+    }
+
+    // Approximate projection-tree path at d = 64 (8 trees, like the
+    // harness), batched projections + identity scoring vs the scalar path.
+    let pts = normal_embedded(8192, 6, 64, 0.1, 17);
+    let tree = BallTree::build(&pts, 128);
+    for &blocked in &[true, false] {
+        set_knn_blocked(blocked);
+        let tag = if blocked { "blocked" } else { "scalar" };
+        group.bench_function(format!("approx16_t8_n8192_d64_{tag}"), |b| {
+            b.iter(|| black_box(knn_approximate(&tree, 16, 8, 42).k()))
+        });
+    }
+
+    set_knn_blocked(true);
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_shapes);
+criterion_main!(benches);

@@ -14,15 +14,22 @@
 //! RSS, and pool hit rates. The `cpqr=false` rows reproduce the pre-BLAS-3
 //! setup numerics (unblocked one-reflector CPQR + per-entry scalar kernel
 //! evaluation), so `skel_speedup` in the summary is the before/after of
-//! this PR's setup rebuild.
+//! this PR's setup rebuild. The kNN stage is measured under both `KFDS_KNN`
+//! states per thread count (`t_knn_s` = blocked GEMM-tile search,
+//! `t_knn_scalar_s` = legacy scalar search), giving the `knn_speedup`
+//! summary lines. Rows with more threads than the host's *physical* cores
+//! carry `"wallclock_valid": false` — those numbers exercise the parallel
+//! code paths under time-slicing and must not be read as wall-clock wins.
 //!
 //! ```sh
 //! cargo run --release -p kfds-bench --bin perf_trajectory [-- --scale 2]
 //! # writes BENCH_factor.json in the current directory (run from repo root)
-//! cargo run --release -p kfds-bench --bin perf_trajectory -- --check
+//! cargo run --release -p kfds-bench --bin perf_trajectory -- --check [gate]
 //! # dispatch sanity only: exits 1 if this host supports AVX2+FMA but the
-//! # vector kernels are inactive, or if the blocked CPQR / GEMM assembly
-//! # paths silently fell back, without the matching KFDS_* opt-out.
+//! # vector kernels are inactive, or if the blocked CPQR / GEMM assembly /
+//! # GEMM-tile kNN paths silently fell back, without the matching KFDS_*
+//! # opt-out. An optional gate name (simd | cpqr | eval | knn) runs one
+//! # gate alone.
 //! ```
 
 use kfds_askit::{compute_neighbors, skeletonize_with_neighbors};
@@ -52,6 +59,7 @@ struct Run {
     cpqr: bool,
     t_tree_s: f64,
     t_knn_s: f64,
+    t_knn_scalar_s: f64,
     t_skel_s: f64,
     t_factor_s: f64,
     t_solve_s: f64,
@@ -62,6 +70,9 @@ struct Run {
     pool_hits: u64,
     pool_misses: u64,
     peak_rss_kb: u64,
+    /// `false` when `threads` exceeds the host's physical cores: the row
+    /// ran time-sliced and its wall-clock is not a parallel speedup claim.
+    wallclock_valid: bool,
 }
 
 /// Measured repetitions per configuration; the committed numbers are the
@@ -80,12 +91,15 @@ fn apply_grid(pool: bool, simd_on: bool, cpqr_on: bool) {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--check") {
-        std::process::exit(dispatch_check());
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let gate = args.get(i + 1).filter(|a| !a.starts_with("--")).map(|s| s.as_str());
+        std::process::exit(dispatch_check(gate));
     }
     let scale = arg_f64("--scale", 1.0);
     let workloads = build_workloads(scale);
     let threads_list = [1usize, 4];
+    let phys_cores = physical_cores();
     // (pool, simd, cpqr): pool-off baseline, scalar reference, pre-BLAS-3
     // setup baseline, and the full fast path.
     let configs =
@@ -100,19 +114,29 @@ fn main() {
         for &threads in &threads_list {
             let pool_handle =
                 rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
-            // Tree build and kNN are invariant under the grid switches
-            // (they never touch the pooled/SIMD/CPQR paths); time them once
-            // per thread count and share the numbers across the grid rows.
+            // Tree build is invariant under the grid switches; kNN is the
+            // `KFDS_KNN` A/B pair — time both paths once per thread count
+            // and share the numbers across the grid rows. The blocked
+            // lists are the ones handed to skeletonization (both paths
+            // return bitwise-identical lists whenever the selected sets
+            // agree, so recall/exactness is unchanged either way).
             let mut t_tree = f64::INFINITY;
             let mut t_knn = f64::INFINITY;
+            let mut t_knn_scalar = f64::INFINITY;
             let mut shared_nn = None;
             for _ in 0..REPS {
                 let (tree, tt) =
                     pool_handle.install(|| timed(|| BallTree::build(&wl.points, wl.m)));
+                kfds_tree::set_knn_blocked(true);
                 let (nn, tk) =
                     pool_handle.install(|| timed(|| compute_neighbors(&tree, &skel_cfg)));
+                kfds_tree::set_knn_blocked(false);
+                let (_, tks) =
+                    pool_handle.install(|| timed(|| compute_neighbors(&tree, &skel_cfg)));
+                kfds_tree::set_knn_blocked(true);
                 t_tree = t_tree.min(tt);
                 t_knn = t_knn.min(tk);
+                t_knn_scalar = t_knn_scalar.min(tks);
                 shared_nn = Some(nn);
             }
             let nn = shared_nn.expect("REPS > 0");
@@ -167,6 +191,7 @@ fn main() {
                     cpqr: cpqr_on,
                     t_tree_s: t_tree,
                     t_knn_s: t_knn,
+                    t_knn_scalar_s: t_knn_scalar,
                     t_skel_s: t_skel,
                     t_factor_s: t_factor,
                     t_solve_s: t_solve,
@@ -177,6 +202,7 @@ fn main() {
                     pool_hits: (h1 - h0) / REPS as u64,
                     pool_misses: (m1 - m0) / REPS as u64,
                     peak_rss_kb: peak_rss_kb(),
+                    wallclock_valid: threads <= phys_cores,
                 });
                 let r = runs.last().expect("just pushed");
                 eprintln!(
@@ -193,8 +219,10 @@ fn main() {
     eprintln!("wrote BENCH_factor.json ({} runs)", runs.len());
 }
 
-/// `--check`: verifies that every runtime-dispatched fast path is in the
-/// state the host and environment imply. Returns the process exit code.
+/// `--check [gate]`: verifies that every runtime-dispatched fast path is
+/// in the state the host and environment imply. Returns the process exit
+/// code. With a gate name (`simd` | `cpqr` | `eval` | `knn`) only that
+/// gate runs.
 ///
 /// * AVX2+FMA host, vector kernels active — OK.
 /// * `KFDS_SIMD=off`/`0` set — scalar mode was requested, OK.
@@ -204,52 +232,92 @@ fn main() {
 /// * Blocked CPQR / GEMM assembly inactive (or not actually taken by a
 ///   large factorization) without `KFDS_CPQR`/`KFDS_EVAL_GEMM` being set —
 ///   **failure**: the BLAS-3 setup path silently fell back.
-fn dispatch_check() -> i32 {
-    let feats = simd::detected_features();
-    let env_off = kfds_switches::KFDS_SIMD.is_off();
-    if env_off {
-        eprintln!("simd check: KFDS_SIMD=off requested, scalar paths active ({feats})");
-    } else if simd::cpu_supported() && !simd::active() {
-        eprintln!(
-            "simd check FAILED: host supports the vector kernels ({feats}) but they are \
-             inactive and KFDS_SIMD was not set — scalar fallback silently engaged"
-        );
-        return 1;
-    } else {
-        eprintln!("simd check: features {feats}, vector kernels active = {}", simd::active());
+/// * `KFDS_KNN` unset but an exact + approximate search computes no GEMM
+///   distance tiles — **failure**: kNN silently fell back to scalar.
+fn dispatch_check(gate: Option<&str>) -> i32 {
+    if let Some(g) = gate {
+        if !["simd", "cpqr", "eval", "knn"].contains(&g) {
+            eprintln!("unknown dispatch gate {g:?} (expected simd | cpqr | eval | knn)");
+            return 2;
+        }
+    }
+    let want = |g: &str| gate.is_none() || gate == Some(g);
+
+    if want("simd") {
+        let feats = simd::detected_features();
+        let env_off = kfds_switches::KFDS_SIMD.is_off();
+        if env_off {
+            eprintln!("simd check: KFDS_SIMD=off requested, scalar paths active ({feats})");
+        } else if simd::cpu_supported() && !simd::active() {
+            eprintln!(
+                "simd check FAILED: host supports the vector kernels ({feats}) but they are \
+                 inactive and KFDS_SIMD was not set — scalar fallback silently engaged"
+            );
+            return 1;
+        } else {
+            eprintln!("simd check: features {feats}, vector kernels active = {}", simd::active());
+        }
     }
 
     // Blocked-setup gate: with no opt-out in the environment, the blocked
     // CPQR must (a) report active and (b) actually take the panel path for
     // a factorization above the dispatch threshold.
-    let cpqr_env_off = kfds_switches::KFDS_CPQR.is_off();
-    if cpqr_env_off {
-        eprintln!("cpqr check: KFDS_CPQR=unblocked requested, BLAS-2 path active");
-    } else {
-        let before = cpqr::blocked_factor_count();
-        let a = Mat::from_fn(96, 96, |i, j| ((i * 7 + j * 13) as f64 * 0.19).sin());
-        let _ = ColPivQr::factor_truncated(a, 0.0, usize::MAX);
-        if !cpqr::blocked_active() || cpqr::blocked_factor_count() == before {
-            eprintln!(
-                "cpqr check FAILED: KFDS_CPQR not set but a 96x96 factorization did not take \
-                 the blocked panel path — BLAS-2 fallback silently engaged"
-            );
-            return 1;
+    if want("cpqr") {
+        let cpqr_env_off = kfds_switches::KFDS_CPQR.is_off();
+        if cpqr_env_off {
+            eprintln!("cpqr check: KFDS_CPQR=unblocked requested, BLAS-2 path active");
+        } else {
+            let before = cpqr::blocked_factor_count();
+            let a = Mat::from_fn(96, 96, |i, j| ((i * 7 + j * 13) as f64 * 0.19).sin());
+            let _ = ColPivQr::factor_truncated(a, 0.0, usize::MAX);
+            if !cpqr::blocked_active() || cpqr::blocked_factor_count() == before {
+                eprintln!(
+                    "cpqr check FAILED: KFDS_CPQR not set but a 96x96 factorization did not take \
+                     the blocked panel path — BLAS-2 fallback silently engaged"
+                );
+                return 1;
+            }
+            eprintln!("cpqr check: blocked panel path active");
         }
-        eprintln!("cpqr check: blocked panel path active");
     }
 
-    let eval_env_off = kfds_switches::KFDS_EVAL_GEMM.is_off();
-    if eval_env_off {
-        eprintln!("eval check: KFDS_EVAL_GEMM=off requested, scalar block assembly active");
-    } else if !kfds_kernels::gemm_eval_active() {
-        eprintln!(
-            "eval check FAILED: KFDS_EVAL_GEMM not set but the GEMM block-assembly path is \
-             inactive — scalar fallback silently engaged"
-        );
-        return 1;
-    } else {
-        eprintln!("eval check: GEMM block assembly active");
+    if want("eval") {
+        let eval_env_off = kfds_switches::KFDS_EVAL_GEMM.is_off();
+        if eval_env_off {
+            eprintln!("eval check: KFDS_EVAL_GEMM=off requested, scalar block assembly active");
+        } else if !kfds_kernels::gemm_eval_active() {
+            eprintln!(
+                "eval check FAILED: KFDS_EVAL_GEMM not set but the GEMM block-assembly path is \
+                 inactive — scalar fallback silently engaged"
+            );
+            return 1;
+        } else {
+            eprintln!("eval check: GEMM block assembly active");
+        }
+    }
+
+    // kNN gate: with no opt-out, an exact + approximate search over a
+    // small set must route through the blocked pipeline and compute at
+    // least one GEMM distance tile.
+    if want("knn") {
+        let knn_env_off = kfds_switches::KFDS_KNN.is_off();
+        if knn_env_off {
+            eprintln!("knn check: KFDS_KNN=scalar requested, scalar neighbor search active");
+        } else {
+            let before = kfds_tree::blocked_tile_count();
+            let pts = normal_embedded(256, 4, 8, 0.1, 3);
+            let tree = BallTree::build(&pts, 32);
+            let _ = kfds_tree::knn_all(&tree, 8);
+            let _ = kfds_tree::knn_approximate(&tree, 8, 2, 7);
+            if !kfds_tree::knn_blocked_active() || kfds_tree::blocked_tile_count() == before {
+                eprintln!(
+                    "knn check FAILED: KFDS_KNN not set but a 256-point exact + approximate \
+                     search computed no GEMM distance tiles — scalar fallback silently engaged"
+                );
+                return 1;
+            }
+            eprintln!("knn check: blocked GEMM-tile neighbor search active");
+        }
     }
     0
 }
@@ -287,6 +355,38 @@ fn build_workloads(scale: f64) -> Vec<Workload> {
     out
 }
 
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`, falling back to `available_parallelism` where the
+/// topology is not exposed. SMT siblings and time-sliced container vCPUs
+/// collapse onto their core, which is the honest capacity bound for
+/// wall-clock parallel speedup claims.
+fn physical_cores() -> usize {
+    let fallback = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return fallback;
+    };
+    let mut phys = 0u64;
+    let mut cores = std::collections::BTreeSet::new();
+    for line in info.lines() {
+        let Some((key, val)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => phys = val.trim().parse().unwrap_or(0),
+            "core id" => {
+                let core: u64 = val.trim().parse().unwrap_or(0);
+                cores.insert((phys, core));
+            }
+            _ => {}
+        }
+    }
+    if cores.is_empty() {
+        fallback
+    } else {
+        cores.len()
+    }
+}
+
 /// Peak resident set size in KiB from `/proc/self/status` (0 if absent).
 fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
@@ -304,27 +404,30 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kfds-perf-trajectory-v4\",\n");
+    s.push_str("  \"schema\": \"kfds-perf-trajectory-v5\",\n");
     s.push_str(
         "  \"generated_by\": \"cargo run --release -p kfds-bench --bin perf_trajectory\",\n",
     );
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    s.push_str(&format!("  \"host_physical_cores\": {},\n", physical_cores()));
     s.push_str(&format!("  \"host_simd\": \"{}\",\n", simd::detected_features()));
     s.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
-    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s/t_knn_s are invariant under the grid switches and are measured once per thread count (shared across that thread count's rows). The container exposes a single physical CPU, so multi-thread rows exercise the parallel code paths under time-slicing and cannot show wall-clock speedup; multi-thread targets require >=4 physical cores to manifest. batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves.\",\n");
+    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s is invariant under the grid switches and is measured once per thread count (shared across that thread count's rows); kNN is measured A/B per thread count — t_knn_s is the blocked GEMM-tile search (KFDS_KNN default) and t_knn_scalar_s the legacy scalar search, so knn_speedup = t_knn_scalar_s / t_knn_s. Rows with threads > host_physical_cores carry wallclock_valid=false: they exercise the parallel code paths under time-slicing and their absolute wall-clock times must not be read as parallel speedup. batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves.\",\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"wallclock_valid\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_knn_scalar_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
             r.label,
             r.n,
             r.threads,
             r.pool,
             r.simd,
             r.cpqr,
+            r.wallclock_valid,
             r.t_tree_s,
             r.t_knn_s,
+            r.t_knn_scalar_s,
             r.t_skel_s,
             r.t_factor_s,
             r.t_solve_s,
@@ -382,6 +485,12 @@ fn render_json(runs: &[Run], scale: f64) -> String {
                     / (r.t_tree_s + r.t_knn_s + r.t_skel_s)
             ));
         }
+        lines.push(format!(
+            "    \"{}_t{}_knn_speedup\": {:.4}",
+            r.label,
+            r.threads,
+            r.t_knn_scalar_s / r.t_knn_s
+        ));
         lines.push(format!(
             "    \"{}_t{}_batch16_solve_amortization\": {:.4}",
             r.label,

@@ -232,6 +232,33 @@ pub fn gsks_contract_8x4(
     }
 }
 
+/// Squared-distance epilogue for GEMM-backed neighbor tiles: turns one
+/// column of a Gram block `g[i] = x_i . y` into squared distances via the
+/// norms identity `‖x_i − y‖² = ‖x_i‖² + ‖y‖² − 2 x_i . y`, clamped at
+/// zero (the expanded form can go negative by cancellation for coincident
+/// points). `row_norms[i] = ‖x_i‖²`, `col_norm = ‖y‖²`.
+///
+/// Dispatches to a 4-wide FMA kernel when [`active`]; the scalar loop is
+/// the bitwise reference (`fnmadd` vs `mul_add` agree: both fuse).
+///
+/// # Panics
+/// Panics if `row_norms.len() != g.len()`.
+pub fn dist_epilogue(g: &mut [f64], row_norms: &[f64], col_norm: f64) {
+    assert_eq!(g.len(), row_norms.len(), "dist_epilogue: norm length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if active() {
+            // SAFETY: lengths asserted equal above; active() implies
+            // AVX2+FMA.
+            unsafe { x86::dist_epilogue_avx2(g, row_norms, col_norm) };
+            return;
+        }
+    }
+    for (gi, &rn) in g.iter_mut().zip(row_norms) {
+        *gi = (-2.0f64).mul_add(*gi, rn + col_norm).max(0.0);
+    }
+}
+
 /// `true` if this CPU additionally supports the 8-wide AVX-512 variants
 /// (the baseline vector kernels require only AVX2+FMA). Immutable for the
 /// process lifetime, like [`cpu_supported`]; gated by the same
@@ -363,6 +390,37 @@ mod x86 {
                 *w.add(r * nrhs + t) = s;
             }
             t += 1;
+        }
+    }
+
+    /// The distance-tile epilogue: `g[i] = max(rn[i] + cn - 2*g[i], 0)`
+    /// vectorized 4-wide (see [`super::dist_epilogue`]). `fnmadd` fuses
+    /// exactly like the scalar `mul_add` reference, so both paths agree
+    /// bitwise on finite inputs.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA. `g` and `rn` must have equal lengths (checked by
+    /// the safe caller).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dist_epilogue_avx2(g: &mut [f64], rn: &[f64], cn: f64) {
+        debug_assert!(super::cpu_supported(), "dist_epilogue_avx2 needs AVX2+FMA");
+        debug_assert_eq!(g.len(), rn.len());
+        let n = g.len();
+        let gp = g.as_mut_ptr();
+        let rp = rn.as_ptr();
+        let vcn = _mm256_set1_pd(cn);
+        let two = _mm256_set1_pd(2.0);
+        let zero = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = _mm256_add_pd(_mm256_loadu_pd(rp.add(i)), vcn);
+            let d = _mm256_fnmadd_pd(_mm256_loadu_pd(gp.add(i)), two, s);
+            _mm256_storeu_pd(gp.add(i), _mm256_max_pd(d, zero));
+            i += 4;
+        }
+        while i < n {
+            *gp.add(i) = (-2.0f64).mul_add(*gp.add(i), *rp.add(i) + cn).max(0.0);
+            i += 1;
         }
     }
 
@@ -845,6 +903,33 @@ mod tests {
         // Subnormal range flushes to zero in the vector path; scalar path
         // returns the subnormal. Either way the absolute error is tiny.
         assert!(xs[6].abs() < 2.5e-308);
+    }
+
+    #[test]
+    fn dist_epilogue_matches_scalar_and_clamps() {
+        // Odd length exercises the vector tail; the coincident pair (g =
+        // rn = cn) exercises the clamp.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        };
+        for n in [1usize, 4, 7, 33] {
+            let g0: Vec<f64> = (0..n).map(|_| rnd()).collect();
+            let rn: Vec<f64> = (0..n).map(|_| rnd().abs() + 1.0).collect();
+            let cn = 1.75;
+            let mut g = g0.clone();
+            dist_epilogue(&mut g, &rn, cn);
+            for i in 0..n {
+                let want = (-2.0f64).mul_add(g0[i], rn[i] + cn).max(0.0);
+                assert_eq!(g[i], want, "n={n} i={i}");
+                assert!(g[i] >= 0.0);
+            }
+        }
+        // Exact cancellation: ‖x‖² + ‖x‖² − 2 x·x clamps to zero.
+        let mut g = [3.0];
+        dist_epilogue(&mut g, &[3.0], 3.0);
+        assert_eq!(g[0], 0.0);
     }
 
     #[test]

@@ -97,6 +97,16 @@ pub const KFDS_EVAL_GEMM: Switch = Switch {
           scalar path, bitwise-identical to the pre-GEMM code",
 };
 
+/// `KFDS_KNN`: selects the legacy scalar k-nearest-neighbor search.
+pub const KFDS_KNN: Switch = Switch {
+    name: "KFDS_KNN",
+    default: "blocked",
+    off_values: &["scalar", "off", "0"],
+    doc: "forces the legacy scalar kNN paths (per-point ball-tree descent \
+          and per-pair candidate scoring) instead of the blocked \
+          GEMM-tile dual-tree / bucket scoring pipeline, for A/B runs",
+};
+
 /// `KFDS_SERVE_BATCH`: kill-switch for multi-RHS request coalescing.
 pub const KFDS_SERVE_BATCH: Switch = Switch {
     name: "KFDS_SERVE_BATCH",
@@ -111,7 +121,7 @@ pub const KFDS_SERVE_BATCH: Switch = Switch {
 /// added here (and nowhere else) — the lint and the README generator both
 /// iterate this array.
 pub const ALL: &[&Switch] =
-    &[&KFDS_SIMD, &KFDS_WS_POOL, &KFDS_CPQR, &KFDS_EVAL_GEMM, &KFDS_SERVE_BATCH];
+    &[&KFDS_SIMD, &KFDS_WS_POOL, &KFDS_CPQR, &KFDS_EVAL_GEMM, &KFDS_KNN, &KFDS_SERVE_BATCH];
 
 /// Renders the README runtime-switch table (markdown). The table between
 /// the `<!-- switch-table:begin -->` / `<!-- switch-table:end -->` markers

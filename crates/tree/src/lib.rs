@@ -8,9 +8,11 @@
 
 pub mod balltree;
 pub mod datasets;
+pub mod dist_tiles;
 pub mod neighbors;
 pub mod points;
 
 pub use balltree::{BallTree, Node, SplitRule};
+pub use dist_tiles::{blocked_tile_count, knn_blocked_active, set_knn_blocked};
 pub use neighbors::{knn_all, knn_approximate, knn_brute_force, knn_recall, NeighborLists};
 pub use points::{sq_dist, PointSet};

@@ -84,7 +84,22 @@ impl PointSet {
     /// Squared Euclidean norms of every point (`‖x_i‖²`), used to turn
     /// pairwise distances into a GEMM (`‖x−y‖² = ‖x‖²+‖y‖²−2xᵀy`).
     pub fn sq_norms(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| dot(self.point(i), self.point(i))).collect()
+        let mut out = vec![0.0; self.len()];
+        self.sq_norms_into(&mut out);
+        out
+    }
+
+    /// Fills `out[i] = ‖x_i‖²` without allocating — the pooled-buffer
+    /// variant of [`PointSet::sq_norms`] used by the blocked distance
+    /// tiles (`crate::dist_tiles`).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn sq_norms_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len(), "sq_norms_into: length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.point(i), self.point(i));
+        }
     }
 
     /// A new point set containing `idx`-selected points (with repetition

@@ -32,6 +32,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/la/src/blas1.rs",
     "crates/la/src/blas2.rs",
     "crates/kernels/src/gsks.rs",
+    "crates/tree/src/dist_tiles.rs",
 ];
 
 /// Files allowed to read `KFDS_*` environment variables directly: the
