@@ -83,22 +83,30 @@ if [[ $tsan -eq 1 ]]; then
   fi
 fi
 
-echo "== dispatch checks (simd, cpqr, gemm eval, knn) =="
+echo "== dispatch checks (simd, cpqr, gemm eval, knn, refactor) =="
 # Fails if this host supports AVX2+FMA but the vector kernels silently
 # fell back to scalar, or if the blocked CPQR / GEMM eval / GEMM-tile kNN
-# paths silently deactivated (dispatch or build regression). The knn gate
-# runs separately so a neighbor-search regression is named in the output.
+# paths silently deactivated (dispatch or build regression). The knn and
+# refactor gates run separately so a neighbor-search or λ-sweep
+# refactorization regression is named in the output; the refactor gate
+# also verifies KFDS_REFACTOR=off reproduces the legacy per-λ path.
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check knn
+  cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check refactor
+  KFDS_REFACTOR=off cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check refactor
 else
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check knn
+  cargo run -q -p kfds-bench --bin perf_trajectory -- --check refactor
+  KFDS_REFACTOR=off cargo run -q -p kfds-bench --bin perf_trajectory -- --check refactor
 fi
 
 echo "== kfds-serve smoke =="
 # Stands up the batched solve service under closed-loop load and asserts a
-# clean run: zero errors, every request answered, cache hit rate > 0.
+# clean run: zero errors, every request answered, cache hit rate > 0, and
+# exactly one λ-free setup build across the λ-only key spread (the
+# two-level cache contract).
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --n 1024 --keys 2 --clients 8 --requests 64
 else

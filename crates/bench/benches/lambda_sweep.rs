@@ -1,0 +1,84 @@
+//! Criterion benchmarks: the λ-sweep refactorization split. One fresh
+//! StoredGemv factorization is the per-λ cost the legacy sweep pays; the
+//! refactor path pays the assembly once and then only linear algebra per
+//! λ. An 8-λ sweep is measured end-to-end both ways.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfds_askit::{skeletonize, SkelConfig};
+use kfds_core::{assemble_blocks, factorize, factorize_with_blocks, SolverConfig, StorageMode};
+use kfds_kernels::Gaussian;
+use kfds_tree::datasets::normal_embedded;
+use kfds_tree::BallTree;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const LAMBDAS: [f64; 8] = [1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.0, 10.0];
+
+fn bench_lambda_sweep(c: &mut Criterion) {
+    let n = 2048;
+    let points = normal_embedded(n, 3, 8, 0.05, 5);
+    let kernel = Gaussian::new(1.5);
+    let tree = BallTree::build(&points, 64);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(0.0).with_max_rank(48).with_neighbors(8),
+    );
+    let base = SolverConfig::default().with_storage(StorageMode::StoredGemv);
+
+    let mut group = c.benchmark_group("lambda_sweep_2K");
+    group.sample_size(10);
+    // Per-λ costs: fresh factorization vs refactorization over blocks
+    // assembled outside the timer (the steady-state sweep iteration).
+    group.bench_function("fresh_factorize_per_lambda", |b| {
+        let cfg = base.with_lambda(0.5);
+        b.iter(|| black_box(factorize(&st, &kernel, cfg).expect("factorize").stats().flops))
+    });
+    group.bench_function("refactor_per_lambda", |b| {
+        let blocks = Arc::new(assemble_blocks(&st, &kernel));
+        let cfg = base.with_lambda(0.5);
+        b.iter(|| {
+            black_box(
+                factorize_with_blocks(&st, &kernel, Arc::clone(&blocks), cfg)
+                    .expect("refactor")
+                    .stats()
+                    .flops,
+            )
+        })
+    });
+    // End-to-end 8-λ sweeps, assembly included where the path pays it.
+    group.bench_function("sweep8_legacy", |b| {
+        b.iter(|| {
+            for &lambda in &LAMBDAS {
+                black_box(
+                    factorize(&st, &kernel, base.with_lambda(lambda))
+                        .expect("factorize")
+                        .stats()
+                        .flops,
+                );
+            }
+        })
+    });
+    group.bench_function("sweep8_refactor", |b| {
+        b.iter(|| {
+            let blocks = Arc::new(assemble_blocks(&st, &kernel));
+            for &lambda in &LAMBDAS {
+                black_box(
+                    factorize_with_blocks(
+                        &st,
+                        &kernel,
+                        Arc::clone(&blocks),
+                        base.with_lambda(lambda),
+                    )
+                    .expect("refactor")
+                    .stats()
+                    .flops,
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lambda_sweep);
+criterion_main!(benches);

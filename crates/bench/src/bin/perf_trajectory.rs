@@ -34,11 +34,14 @@
 
 use kfds_askit::{compute_neighbors, skeletonize_with_neighbors};
 use kfds_bench::{arg_f64, harness_skel_config, scaled_bandwidth, standin, test_vec, timed};
-use kfds_core::{factorize, SolverConfig};
+use kfds_core::{
+    assemble_blocks, factorize, factorize_with_blocks, refactor_enabled, SolverConfig, StorageMode,
+};
 use kfds_kernels::Gaussian;
 use kfds_la::{cpqr, simd, workspace, ColPivQr, Mat};
 use kfds_tree::datasets::normal_embedded;
 use kfds_tree::{BallTree, PointSet};
+use std::sync::Arc;
 
 struct Workload {
     label: String,
@@ -62,6 +65,15 @@ struct Run {
     t_knn_scalar_s: f64,
     t_skel_s: f64,
     t_factor_s: f64,
+    /// λ-independent kernel block assembly (full-fast rows only; 0.0
+    /// elsewhere).
+    t_assemble_s: f64,
+    /// Fresh StoredGemv factorization — the fair baseline for
+    /// `t_refactor_s` (full-fast rows only; 0.0 elsewhere).
+    t_factor_stored_s: f64,
+    /// λ-only refactorization over pre-assembled blocks (full-fast rows
+    /// only; 0.0 elsewhere).
+    t_refactor_s: f64,
     t_solve_s: f64,
     t_solve16_s: f64,
     solve16_rhs_per_s: f64,
@@ -154,9 +166,16 @@ fn main() {
                 let (h0, m0) = workspace::stats();
                 let mut t_skel = f64::INFINITY;
                 let mut t_factor = f64::INFINITY;
+                let mut t_assemble = f64::INFINITY;
+                let mut t_factor_stored = f64::INFINITY;
+                let mut t_refactor = f64::INFINITY;
                 let mut t_solve = f64::INFINITY;
                 let mut t_solve16 = f64::INFINITY;
                 let mut flops = 0.0;
+                // The λ-sweep refactorization triplet (assemble once,
+                // fresh StoredGemv factorize, λ-only refactor) is measured
+                // on the full-fast configuration only.
+                let measure_refactor = pool && simd_on && cpqr_on;
                 for _ in 0..REPS {
                     let tree = pool_handle.install(|| BallTree::build(&wl.points, wl.m));
                     let (st, tsk) = pool_handle.install(|| {
@@ -175,11 +194,36 @@ fn main() {
                     }
                     let (_, ts16) = pool_handle
                         .install(|| timed(|| ft.solve_mat_in_place(&mut xm).expect("solve16")));
+                    if measure_refactor {
+                        let stored = cfg.with_storage(StorageMode::StoredGemv);
+                        let (blocks, ta) = pool_handle
+                            .install(|| timed(|| Arc::new(assemble_blocks(&st, &kernel))));
+                        let (_, tfs) = pool_handle.install(|| {
+                            timed(|| factorize(&st, &kernel, stored).expect("stored factorize"))
+                        });
+                        // λ-only refactorization at a shifted λ: the
+                        // steady-state per-λ cost of a sweep.
+                        let recfg = stored.with_lambda(wl.lambda * 2.0);
+                        let (_, tr) = pool_handle.install(|| {
+                            timed(|| {
+                                factorize_with_blocks(&st, &kernel, Arc::clone(&blocks), recfg)
+                                    .expect("refactor")
+                            })
+                        });
+                        t_assemble = t_assemble.min(ta);
+                        t_factor_stored = t_factor_stored.min(tfs);
+                        t_refactor = t_refactor.min(tr);
+                    }
                     t_skel = t_skel.min(tsk);
                     t_factor = t_factor.min(tf);
                     t_solve = t_solve.min(ts);
                     t_solve16 = t_solve16.min(ts16);
                     flops = ft.stats().flops;
+                }
+                if !measure_refactor {
+                    t_assemble = 0.0;
+                    t_factor_stored = 0.0;
+                    t_refactor = 0.0;
                 }
                 let (h1, m1) = workspace::stats();
                 runs.push(Run {
@@ -194,6 +238,9 @@ fn main() {
                     t_knn_scalar_s: t_knn_scalar,
                     t_skel_s: t_skel,
                     t_factor_s: t_factor,
+                    t_assemble_s: t_assemble,
+                    t_factor_stored_s: t_factor_stored,
+                    t_refactor_s: t_refactor,
                     t_solve_s: t_solve,
                     t_solve16_s: t_solve16,
                     solve16_rhs_per_s: 16.0 / t_solve16,
@@ -209,6 +256,15 @@ fn main() {
                     "  threads={threads} pool={pool} simd={simd_on} cpqr={cpqr_on}: skel {:.3}s, factor {:.3}s ({:.2} GFLOP/s), solve {:.4}s, solve16 {:.4}s ({:.0} rhs/s), hits/misses {}/{}",
                     r.t_skel_s, r.t_factor_s, r.gflops, r.t_solve_s, r.t_solve16_s, r.solve16_rhs_per_s, r.pool_hits, r.pool_misses
                 );
+                if measure_refactor {
+                    eprintln!(
+                        "    assemble {:.3}s, stored factor {:.3}s, refactor {:.3}s ({:.2}x)",
+                        r.t_assemble_s,
+                        r.t_factor_stored_s,
+                        r.t_refactor_s,
+                        r.t_factor_stored_s / r.t_refactor_s
+                    );
+                }
             }
         }
     }
@@ -221,8 +277,8 @@ fn main() {
 
 /// `--check [gate]`: verifies that every runtime-dispatched fast path is
 /// in the state the host and environment imply. Returns the process exit
-/// code. With a gate name (`simd` | `cpqr` | `eval` | `knn`) only that
-/// gate runs.
+/// code. With a gate name (`simd` | `cpqr` | `eval` | `knn` | `refactor`)
+/// only that gate runs.
 ///
 /// * AVX2+FMA host, vector kernels active — OK.
 /// * `KFDS_SIMD=off`/`0` set — scalar mode was requested, OK.
@@ -236,8 +292,8 @@ fn main() {
 ///   distance tiles — **failure**: kNN silently fell back to scalar.
 fn dispatch_check(gate: Option<&str>) -> i32 {
     if let Some(g) = gate {
-        if !["simd", "cpqr", "eval", "knn"].contains(&g) {
-            eprintln!("unknown dispatch gate {g:?} (expected simd | cpqr | eval | knn)");
+        if !["simd", "cpqr", "eval", "knn", "refactor"].contains(&g) {
+            eprintln!("unknown dispatch gate {g:?} (expected simd | cpqr | eval | knn | refactor)");
             return 2;
         }
     }
@@ -317,6 +373,70 @@ fn dispatch_check(gate: Option<&str>) -> i32 {
                 return 1;
             }
             eprintln!("knn check: blocked GEMM-tile neighbor search active");
+        }
+    }
+
+    // Refactorization gate: with no opt-out, the λ-sweep refactor path
+    // must be enabled AND reproduce a fresh StoredGemv factorization
+    // bitwise across a λ grid (the contract `KFDS_REFACTOR=off` falls
+    // back from).
+    if want("refactor") {
+        let refactor_env_off = kfds_switches::KFDS_REFACTOR.is_off();
+        if refactor_env_off {
+            if refactor_enabled() {
+                eprintln!(
+                    "refactor check FAILED: KFDS_REFACTOR=off is set but the refactorization \
+                     path reports enabled — the kill-switch is not being honored"
+                );
+                return 1;
+            }
+            eprintln!("refactor check: KFDS_REFACTOR=off requested, legacy per-λ path active");
+        } else {
+            if !refactor_enabled() {
+                eprintln!(
+                    "refactor check FAILED: KFDS_REFACTOR not set but the refactorization path \
+                     is inactive — λ sweeps silently fell back to full per-λ factorizations"
+                );
+                return 1;
+            }
+            let pts = normal_embedded(512, 3, 8, 0.05, 29);
+            let kernel = Gaussian::new(1.0);
+            let tree = BallTree::build(&pts, 64);
+            let skel_cfg = harness_skel_config(pts.dim(), 1e-5, 48, 1);
+            let st = skeletonize_with_neighbors(
+                tree.clone(),
+                &kernel,
+                skel_cfg.clone(),
+                &compute_neighbors(&tree, &skel_cfg),
+            );
+            let blocks = Arc::new(assemble_blocks(&st, &kernel));
+            let base = SolverConfig::default().with_storage(StorageMode::StoredGemv);
+            let mut seed_ft: Option<kfds_core::FactorTree<'_, Gaussian>> = None;
+            for &lambda in &[1e-3, 0.1, 1.0, 10.0] {
+                let cfg = base.with_lambda(lambda);
+                // First λ exercises factorize_with_blocks, the rest the
+                // FactorTree::refactor chain (block reuse without
+                // reassembly).
+                let ft = match &seed_ft {
+                    None => factorize_with_blocks(&st, &kernel, Arc::clone(&blocks), cfg)
+                        .expect("blocked factorize"),
+                    Some(prev) => prev.refactor(lambda).expect("refactor"),
+                };
+                let fresh = factorize(&st, &kernel, cfg).expect("fresh factorize");
+                let mut a = test_vec(512, 7);
+                let mut b = a.clone();
+                ft.solve_in_place(&mut a).expect("blocked solve");
+                fresh.solve_in_place(&mut b).expect("fresh solve");
+                if a != b {
+                    eprintln!(
+                        "refactor check FAILED: λ = {lambda} refactorized solve differs from a \
+                         fresh StoredGemv factorization — the bitwise reuse contract is broken"
+                    );
+                    return 1;
+                }
+                seed_ft = Some(ft);
+            }
+            eprintln!("refactor check: λ-sweep refactorization active and bitwise across λ grid");
         }
     }
     0
@@ -404,7 +524,7 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kfds-perf-trajectory-v5\",\n");
+    s.push_str("  \"schema\": \"kfds-perf-trajectory-v6\",\n");
     s.push_str(
         "  \"generated_by\": \"cargo run --release -p kfds-bench --bin perf_trajectory\",\n",
     );
@@ -413,11 +533,11 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     s.push_str(&format!("  \"host_physical_cores\": {},\n", physical_cores()));
     s.push_str(&format!("  \"host_simd\": \"{}\",\n", simd::detected_features()));
     s.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
-    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s is invariant under the grid switches and is measured once per thread count (shared across that thread count's rows); kNN is measured A/B per thread count — t_knn_s is the blocked GEMM-tile search (KFDS_KNN default) and t_knn_scalar_s the legacy scalar search, so knn_speedup = t_knn_scalar_s / t_knn_s. Rows with threads > host_physical_cores carry wallclock_valid=false: they exercise the parallel code paths under time-slicing and their absolute wall-clock times must not be read as parallel speedup. batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves.\",\n");
+    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s is invariant under the grid switches and is measured once per thread count (shared across that thread count's rows); kNN is measured A/B per thread count — t_knn_s is the blocked GEMM-tile search (KFDS_KNN default) and t_knn_scalar_s the legacy scalar search, so knn_speedup = t_knn_scalar_s / t_knn_s. Rows with threads > host_physical_cores carry wallclock_valid=false: they exercise the parallel code paths under time-slicing and their absolute wall-clock times must not be read as parallel speedup. batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves. The λ-sweep refactorization triplet is measured on the full-fast rows only (0.0 elsewhere): t_assemble_s is the one-time λ-independent kernel block assembly, t_factor_stored_s a fresh StoredGemv factorization (the fair per-λ baseline), and t_refactor_s the λ-only refactorization over the pre-assembled blocks. refactor_speedup = t_factor_stored_s / t_refactor_s is the steady-state per-λ win; lambda_sweep_amortization = (8 * t_factor_stored_s) / (t_assemble_s + 8 * t_refactor_s) is the end-to-end win of an 8-λ cross-validation sweep including the assembly it amortizes.\",\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"wallclock_valid\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_knn_scalar_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"wallclock_valid\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_knn_scalar_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_assemble_s\": {:.6}, \"t_factor_stored_s\": {:.6}, \"t_refactor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
             r.label,
             r.n,
             r.threads,
@@ -430,6 +550,9 @@ fn render_json(runs: &[Run], scale: f64) -> String {
             r.t_knn_scalar_s,
             r.t_skel_s,
             r.t_factor_s,
+            r.t_assemble_s,
+            r.t_factor_stored_s,
+            r.t_refactor_s,
             r.t_solve_s,
             r.t_solve16_s,
             r.solve16_rhs_per_s,
@@ -497,6 +620,20 @@ fn render_json(runs: &[Run], scale: f64) -> String {
             r.threads,
             (16.0 * r.t_solve_s) / r.t_solve16_s
         ));
+        if r.t_refactor_s > 0.0 {
+            lines.push(format!(
+                "    \"{}_t{}_refactor_speedup\": {:.4}",
+                r.label,
+                r.threads,
+                r.t_factor_stored_s / r.t_refactor_s
+            ));
+            lines.push(format!(
+                "    \"{}_t{}_lambda_sweep_amortization\": {:.4}",
+                r.label,
+                r.threads,
+                (8.0 * r.t_factor_stored_s) / (r.t_assemble_s + 8.0 * r.t_refactor_s)
+            ));
+        }
     }
     // Steady-state allocation behavior: with the pool on, hit rate of the
     // measured (post-warm-up) passes.

@@ -1,0 +1,184 @@
+//! The λ-independent assembly stage of the factorization.
+//!
+//! λ enters the entire pipeline at exactly one line — the diagonal shift
+//! `kaa[(i, i)] += λ` in [`crate::factor`] — yet a naive λ-sweep
+//! re-evaluates every kernel block per λ. This module splits `factorize`
+//! the way Minden–Ho–Damle–Ying separate compression from factorization:
+//! [`assemble_blocks`] evaluates, once per (dataset, h, seed), every
+//! kernel block the factorization will ever read —
+//!
+//! * leaf diagonal blocks `K_αα` (no λ shift applied), and
+//! * internal coupling blocks `K_{l̃r}` / `K_{r̃l}` between a node's
+//!   sibling skeletons,
+//!
+//! and [`crate::factorize_with_blocks`] /
+//! [`crate::FactorTree::refactor`] then redo only the linear algebra
+//! (diagonal shift, LU/Cholesky, `P̂` solves, reduced systems) per λ.
+//! The skeleton projections `P_{αα̃}` are *not* duplicated here — they
+//! already live λ-independently in the [`SkeletonTree`].
+//!
+//! The blocked path is bitwise-identical to a fresh `factorize` under
+//! [`StorageMode::StoredGemv`](crate::StorageMode::StoredGemv): kernel
+//! block evaluation is deterministic, so a cached block equals a freshly
+//! evaluated one bit-for-bit, and every downstream operation is the same
+//! code. (The GSKS fused path accumulates in a different order than GEMM
+//! over a materialized block, so `factorize_with_blocks` pins the storage
+//! mode to `StoredGemv`.) The `KFDS_REFACTOR` kill-switch routes
+//! [`crate::lambda_sweep`] and friends back to the legacy
+//! factorize-from-scratch path.
+
+use kfds_askit::SkeletonTree;
+use kfds_kernels::{eval_block_range, eval_symmetric, flops, Kernel};
+use kfds_la::Mat;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+use std::time::Instant;
+
+/// Runtime kill-switch for λ-sweep refactorization. Defaults to on;
+/// `KFDS_REFACTOR=off` (or `=0`) routes `lambda_sweep`, the GP noise
+/// grid, and the serve factor stage back to factorize-from-scratch.
+static REFACTOR_ENABLED: AtomicBool = AtomicBool::new(true);
+static ENV_INIT: Once = Once::new();
+
+/// `true` when λ-sweep refactorization over cached [`AssembledBlocks`]
+/// is active (the default). Controlled by the registered `KFDS_REFACTOR`
+/// switch, sampled once per process; [`set_refactor_enabled`] overrides.
+#[inline]
+pub fn refactor_enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        if kfds_switches::KFDS_REFACTOR.is_off() {
+            REFACTOR_ENABLED.store(false, Ordering::Relaxed);
+        }
+    });
+    REFACTOR_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables λ-sweep refactorization at runtime (overrides
+/// `KFDS_REFACTOR`). With the switch off, every sweep consumer rebuilds
+/// its factorization from scratch per λ — the legacy path, reproduced
+/// bitwise. Used by the perf-trajectory harness and the A/B gates.
+pub fn set_refactor_enabled(on: bool) {
+    let _ = refactor_enabled(); // apply the env default first so it cannot clobber us
+    REFACTOR_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The λ-independent kernel blocks cached for one tree node.
+#[derive(Debug, Default)]
+pub struct NodeBlocks {
+    /// Leaf diagonal block `K_αα` (**without** the `λI` shift), for
+    /// leaves in the factored region.
+    pub kaa: Option<Mat>,
+    /// `K_{l̃ r}` (`s_l x |r|`) for internal nodes in the factored region.
+    pub k_lr: Option<Mat>,
+    /// `K_{r̃ l}` (`s_r x |l|`) for internal nodes in the factored region.
+    pub k_rl: Option<Mat>,
+}
+
+/// Assembly diagnostics, the λ-independent half of what
+/// [`crate::FactorStats`] used to account per factorize call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AssembleStats {
+    /// Wall-clock seconds spent evaluating kernel blocks.
+    pub seconds: f64,
+    /// Kernel-evaluation flops (the GSKS epilogue cost a refactor skips).
+    pub kernel_flops: f64,
+    /// Bytes retained by the cached blocks.
+    pub bytes: usize,
+}
+
+/// Every kernel block the factorization of `λI + K̃` reads, evaluated
+/// once and reusable across arbitrarily many λ values. Indexed like the
+/// skeleton tree's nodes.
+#[derive(Debug)]
+pub struct AssembledBlocks {
+    nodes: Vec<NodeBlocks>,
+    stats: AssembleStats,
+    /// Point count of the tree these blocks were assembled over, so a
+    /// mismatched (tree, blocks) pairing fails fast.
+    n_points: usize,
+}
+
+impl AssembledBlocks {
+    /// Blocks for node `i` (indexed like the tree's nodes).
+    pub fn node(&self, i: usize) -> &NodeBlocks {
+        &self.nodes[i]
+    }
+
+    /// Assembly diagnostics.
+    pub fn stats(&self) -> &AssembleStats {
+        &self.stats
+    }
+
+    /// Number of node slots (equals the tree's node count).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for a zero-node store (never produced by
+    /// [`assemble_blocks`] on a real tree).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Asserts this store was assembled over `st`'s tree shape.
+    pub(crate) fn check_compatible(&self, st: &SkeletonTree) {
+        assert_eq!(
+            self.nodes.len(),
+            st.tree().nodes().len(),
+            "AssembledBlocks node count does not match the skeleton tree"
+        );
+        assert_eq!(
+            self.n_points,
+            st.tree().points().len(),
+            "AssembledBlocks point count does not match the skeleton tree"
+        );
+    }
+}
+
+/// Evaluates every λ-independent kernel block of the factorization over
+/// `st`: leaf `K_αα` diagonal blocks and internal `K_{l̃r}` / `K_{r̃l}`
+/// coupling blocks, for all nodes in the factored region. Embarrassingly
+/// parallel across nodes (no cross-node dependencies, unlike the
+/// factorization itself which sweeps level by level).
+pub fn assemble_blocks<K: Kernel>(st: &SkeletonTree, kernel: &K) -> AssembledBlocks {
+    let t0 = Instant::now();
+    let tree = st.tree();
+    let pts = tree.points();
+    let d = pts.dim();
+    let per_eval = kernel.flops_per_eval();
+    let nodes: Vec<NodeBlocks> = (0..tree.nodes().len())
+        .into_par_iter()
+        .map(|i| {
+            if !crate::factor::in_factored_region(st, i) {
+                return NodeBlocks::default();
+            }
+            let nd = tree.node(i);
+            match nd.children {
+                None => {
+                    let kaa = eval_symmetric(kernel, pts, nd.range());
+                    NodeBlocks { kaa: Some(kaa), ..Default::default() }
+                }
+                Some((l, r)) => {
+                    let skl = st.skeleton(l).expect("factorable node needs skeletonized children");
+                    let skr = st.skeleton(r).expect("factorable node needs skeletonized children");
+                    let k_lr = eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range());
+                    let k_rl = eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range());
+                    NodeBlocks { kaa: None, k_lr: Some(k_lr), k_rl: Some(k_rl) }
+                }
+            }
+        })
+        .collect();
+
+    let mut kernel_flops = 0.0;
+    let mut bytes = 0usize;
+    for nb in &nodes {
+        for blk in [&nb.kaa, &nb.k_lr, &nb.k_rl].into_iter().flatten() {
+            kernel_flops += flops::summation_flops(blk.nrows(), blk.ncols(), d, per_eval)
+                - 2.0 * (blk.nrows() * blk.ncols()) as f64; // evaluation only, no reduction
+            bytes += blk.nrows() * blk.ncols() * 8;
+        }
+    }
+    let stats = AssembleStats { seconds: t0.elapsed().as_secs_f64(), kernel_flops, bytes };
+    AssembledBlocks { nodes, stats, n_points: pts.len() }
+}

@@ -130,7 +130,7 @@ fn pass1_node<K: Kernel>(
         Some((l, r)) => {
             let p_hat_l = factors[l].p_hat.as_ref().expect("child P-hat missing");
             let p_hat_r = factors[r].p_hat.as_ref().expect("child P-hat missing");
-            let rs = build_reduced_system(st, kernel, config, p_hat_l, p_hat_r, node, l, r)?;
+            let rs = build_reduced_system(st, kernel, config, None, p_hat_l, p_hat_r, node, l, r)?;
             let mut cost = rs.cost;
             // Full projection P_{αα̃} = diag(P_l, P_r) · P_{[l̃r̃]α̃},
             // materialized bottom-up from the children's full projections.

@@ -7,28 +7,37 @@
 //! *shared* skeletons — exactly what [`lambda_sweep`] does. One-vs-all
 //! multi-class training rides the multi-RHS solve.
 
+use crate::assemble::{assemble_blocks, refactor_enabled};
 use crate::config::SolverConfig;
 use crate::error::SolverError;
-use crate::factor::factorize;
+use crate::factor::{factorize, factorize_with_blocks, FactorTree};
 use crate::regression::KernelRidge;
 use kfds_askit::{hier_matvec, SkeletonTree, TreecodeEvaluator};
 use kfds_kernels::Kernel;
 use kfds_la::Mat;
 use kfds_tree::PointSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One row of a λ sweep.
 #[derive(Clone, Debug)]
 pub struct LambdaSweepEntry {
     /// Regularizer value.
     pub lambda: f64,
-    /// Factorization wall-clock seconds (per-λ cost of the sweep).
+    /// Factorization wall-clock seconds (per-λ cost of the sweep). For a
+    /// failed λ this is the time spent *failing* — never a placeholder
+    /// zero, so summed timing columns stay honest.
     pub factor_seconds: f64,
     /// Training-solve relative residual against `λI + K̃`.
     pub residual: f64,
     /// Held-out classification accuracy, when a validation set was given.
     pub accuracy: Option<f64>,
-    /// §III instability flag for this λ.
+    /// §III instability flag for this λ (set for completed-but-marginal
+    /// factorizations *and* for outright failures).
     pub unstable: bool,
+    /// `true` iff the factorization at this λ failed outright (distinct
+    /// from merely-unstable entries, which still produced factors).
+    pub failed: bool,
 }
 
 /// Sweeps `λ` values over a *shared* skeletonization, re-factorizing per
@@ -36,8 +45,15 @@ pub struct LambdaSweepEntry {
 /// permuted order; an optional `(points, labels)` validation pair adds a
 /// held-out accuracy column (treecode prediction with `theta = 0.5`).
 ///
+/// With λ-sweep refactorization active (the default; `KFDS_REFACTOR=off`
+/// disables), the kernel blocks are assembled **once** and every λ pays
+/// only linear algebra ([`factorize_with_blocks`], which pins the stored
+/// `V`-block scheme). With it off, every λ runs a full [`factorize`]
+/// under `base`'s storage mode — the legacy path, reproduced bitwise.
+///
 /// λ values whose factorization fails outright are reported with
-/// `residual = NaN` and `unstable = true` rather than aborting the sweep.
+/// `residual = NaN`, `unstable = true`, and `failed = true` rather than
+/// aborting the sweep.
 pub fn lambda_sweep<K: Kernel>(
     st: &SkeletonTree,
     kernel: &K,
@@ -46,48 +62,83 @@ pub fn lambda_sweep<K: Kernel>(
     y: &[f64],
     validation: Option<(&PointSet, &[f64])>,
 ) -> Vec<LambdaSweepEntry> {
+    lambda_sweep_impl(st, kernel, base, lambdas, y, validation, refactor_enabled())
+}
+
+/// The sweep body, parameterized over the refactorization toggle so the
+/// A/B property tests can exercise both paths deterministically without
+/// racing on the process-global switch.
+pub(crate) fn lambda_sweep_impl<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    base: SolverConfig,
+    lambdas: &[f64],
+    y: &[f64],
+    validation: Option<(&PointSet, &[f64])>,
+    use_refactor: bool,
+) -> Vec<LambdaSweepEntry> {
     let n = st.tree().points().len();
     assert_eq!(y.len(), n, "label length mismatch");
+    // One assembly amortized across the whole λ grid (refactor path).
+    let blocks = use_refactor.then(|| Arc::new(assemble_blocks(st, kernel)));
     let mut out = Vec::with_capacity(lambdas.len());
     for &lambda in lambdas {
         let cfg = base.with_lambda(lambda);
-        match factorize(st, kernel, cfg) {
-            Ok(ft) => {
-                let mut w = y.to_vec();
-                let solve_ok = ft.solve_in_place(&mut w).is_ok();
-                let residual = if solve_ok {
-                    let applied = hier_matvec(st, kernel, lambda, &w);
-                    let num: f64 = applied.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
-                    let den: f64 = y.iter().map(|v| v * v).sum();
-                    (num / den.max(1e-300)).sqrt()
-                } else {
-                    f64::NAN
-                };
-                let accuracy = validation.map(|(vp, vl)| {
-                    let ev = TreecodeEvaluator::new(st, kernel, w.clone(), 0.5);
-                    let pred = ev.evaluate_batch(vp);
-                    let correct =
-                        pred.iter().zip(vl).filter(|(p, l)| (**p >= 0.0) == (**l > 0.0)).count();
-                    correct as f64 / vl.len().max(1) as f64
-                });
-                out.push(LambdaSweepEntry {
-                    lambda,
-                    factor_seconds: ft.stats().seconds,
-                    residual,
-                    accuracy,
-                    unstable: ft.stats().is_unstable(),
-                });
-            }
+        let t0 = Instant::now();
+        let result = match &blocks {
+            Some(b) => factorize_with_blocks(st, kernel, Arc::clone(b), cfg),
+            None => factorize(st, kernel, cfg),
+        };
+        let factor_seconds = t0.elapsed().as_secs_f64();
+        match result {
+            Ok(ft) => out.push(sweep_entry(st, kernel, &ft, lambda, factor_seconds, y, validation)),
             Err(_) => out.push(LambdaSweepEntry {
                 lambda,
-                factor_seconds: 0.0,
+                factor_seconds,
                 residual: f64::NAN,
                 accuracy: None,
                 unstable: true,
+                failed: true,
             }),
         }
     }
     out
+}
+
+/// Solves + scores one completed factorization of the sweep.
+fn sweep_entry<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    ft: &FactorTree<'_, K>,
+    lambda: f64,
+    factor_seconds: f64,
+    y: &[f64],
+    validation: Option<(&PointSet, &[f64])>,
+) -> LambdaSweepEntry {
+    let mut w = y.to_vec();
+    let solve_ok = ft.solve_in_place(&mut w).is_ok();
+    let residual = if solve_ok {
+        let applied = hier_matvec(st, kernel, lambda, &w);
+        let num: f64 = applied.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+        let den: f64 = y.iter().map(|v| v * v).sum();
+        (num / den.max(1e-300)).sqrt()
+    } else {
+        f64::NAN
+    };
+    let accuracy = validation.map(|(vp, vl)| {
+        let ev = TreecodeEvaluator::new(st, kernel, w.clone(), 0.5);
+        let pred = ev.evaluate_batch(vp);
+        let correct = pred.iter().zip(vl).filter(|(p, l)| (**p >= 0.0) == (**l > 0.0)).count();
+        correct as f64 / vl.len().max(1) as f64
+    });
+    LambdaSweepEntry {
+        lambda,
+        factor_seconds,
+        residual,
+        accuracy,
+        unstable: ft.stats().is_unstable(),
+        failed: false,
+    }
 }
 
 /// A one-vs-all multi-class kernel ridge classifier.
@@ -168,7 +219,11 @@ impl<K: Kernel + Clone> KernelRidgeMulti<K> {
 
 /// Grid search over `(h, λ)` for binary kernel ridge classification,
 /// returning the best configuration by validation accuracy. Each `h`
-/// needs its own skeletonization (the kernel changes); each `λ` shares it.
+/// needs its own skeletonization (the kernel changes), but the ball tree
+/// and the kNN lists are **h-independent** (pure geometry), so they are
+/// built once and shared across the whole `(h, λ)` grid; each `λ` then
+/// shares its `h`'s skeletonization (and, with refactorization active,
+/// its assembled kernel blocks) through [`lambda_sweep`].
 #[allow(clippy::too_many_arguments)]
 pub fn grid_search_gaussian(
     train: &PointSet,
@@ -181,10 +236,11 @@ pub fn grid_search_gaussian(
     skel: kfds_askit::SkelConfig,
 ) -> Option<(f64, f64, f64)> {
     let mut best: Option<(f64, f64, f64)> = None;
+    let tree = kfds_tree::BallTree::build(train, m);
+    let nn = kfds_askit::compute_neighbors(&tree, &skel);
     for &h in hs {
         let kernel = kfds_kernels::Gaussian::new(h);
-        let tree = kfds_tree::BallTree::build(train, m);
-        let st = kfds_askit::skeletonize(tree, &kernel, skel.clone());
+        let st = kfds_askit::skeletonize_with_neighbors(tree.clone(), &kernel, skel.clone(), &nn);
         let y_perm = st.tree().permute_vec(y_train);
         let entries = lambda_sweep(
             &st,

@@ -15,6 +15,7 @@
 //! over the `O(N log² N)` scheme of \[36\] (implemented in
 //! [`crate::baseline`] for the Table III comparison).
 
+use crate::assemble::{assemble_blocks, AssembledBlocks};
 use crate::config::{FactorStats, LeafFactorization, SolverConfig, StorageMode, WStorage};
 use crate::error::SolverError;
 use kfds_askit::SkeletonTree;
@@ -24,6 +25,7 @@ use kfds_kernels::{
 };
 use kfds_la::{gemm, workspace, Cholesky, Lu, Mat, Trans};
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-node outcome of a level-parallel factorization sweep.
@@ -94,6 +96,10 @@ pub struct FactorTree<'a, K: Kernel> {
     pub(crate) config: SolverConfig,
     pub(crate) factors: Vec<NodeFactors>,
     stats: FactorStats,
+    /// The λ-independent kernel blocks this tree was factorized over,
+    /// when it came through the refactorization path — kept so
+    /// [`FactorTree::refactor`] chains without re-assembling.
+    blocks: Option<Arc<AssembledBlocks>>,
 }
 
 /// Per-node accounting folded into [`FactorStats`].
@@ -114,7 +120,7 @@ impl<'a, K: Kernel> FactorTree<'a, K> {
         factors: Vec<NodeFactors>,
         stats: FactorStats,
     ) -> Self {
-        FactorTree { st, kernel, config, factors, stats }
+        FactorTree { st, kernel, config, factors, stats, blocks: None }
     }
 
     /// The skeleton tree this factorization refers to.
@@ -148,6 +154,37 @@ impl<'a, K: Kernel> FactorTree<'a, K> {
         let root = self.st.tree().root();
         self.factors[root].z_lu.is_some() || self.st.tree().node(root).is_leaf()
     }
+
+    /// The λ-independent assembled blocks backing this factorization,
+    /// when it was built through [`factorize_with_blocks`] /
+    /// [`FactorTree::refactor`] (trees from plain [`factorize`] carry
+    /// none).
+    pub fn assembled_blocks(&self) -> Option<&Arc<AssembledBlocks>> {
+        self.blocks.as_ref()
+    }
+
+    /// Re-factorizes at a new `λ` touching **only the linear algebra**:
+    /// the diagonal shift, LU/Cholesky factorizations, `P̂` solves, and
+    /// reduced systems are redone over cached kernel blocks; zero kernel
+    /// evaluations happen (after a one-time assembly if this tree came
+    /// from plain [`factorize`] — the returned tree carries the blocks,
+    /// so further refactors chain for free).
+    ///
+    /// The result uses [`StorageMode::StoredGemv`] regardless of this
+    /// tree's storage mode (see [`factorize_with_blocks`]) and is bitwise
+    /// identical to `factorize(st, kernel, cfg.with_lambda(lambda)
+    /// .with_storage(StoredGemv))`.
+    ///
+    /// # Errors
+    /// Propagates [`SolverError`] from the factorization (e.g. a λ that
+    /// makes a leaf block singular).
+    pub fn refactor(&self, lambda: f64) -> Result<FactorTree<'a, K>, SolverError> {
+        let blocks = match &self.blocks {
+            Some(b) => Arc::clone(b),
+            None => Arc::new(assemble_blocks(self.st, self.kernel)),
+        };
+        factorize_with_blocks(self.st, self.kernel, blocks, self.config.with_lambda(lambda))
+    }
 }
 
 /// Runs the `O(N log N)` factorization of `λI + K̃`.
@@ -161,6 +198,41 @@ pub fn factorize<'a, K: Kernel>(
     st: &'a SkeletonTree,
     kernel: &'a K,
     config: SolverConfig,
+) -> Result<FactorTree<'a, K>, SolverError> {
+    factorize_impl(st, kernel, config, None)
+}
+
+/// Runs the λ-dependent half of the factorization over pre-assembled
+/// kernel blocks (see [`crate::assemble_blocks`]): only the diagonal
+/// shift, LU/Cholesky factorizations, `P̂` solves, and reduced systems
+/// are computed — no kernel evaluations.
+///
+/// The storage mode is pinned to [`StorageMode::StoredGemv`] (the cached
+/// coupling blocks *are* the stored `V` blocks; the GSKS fused path would
+/// accumulate in a different order and break the bitwise contract). The
+/// result is bitwise identical to
+/// `factorize(st, kernel, config.with_storage(StoredGemv))`.
+///
+/// # Errors
+/// Propagates [`SolverError`] exactly like [`factorize`].
+///
+/// # Panics
+/// Panics if `blocks` was assembled over a different tree shape.
+pub fn factorize_with_blocks<'a, K: Kernel>(
+    st: &'a SkeletonTree,
+    kernel: &'a K,
+    blocks: Arc<AssembledBlocks>,
+    config: SolverConfig,
+) -> Result<FactorTree<'a, K>, SolverError> {
+    blocks.check_compatible(st);
+    factorize_impl(st, kernel, config.with_storage(StorageMode::StoredGemv), Some(blocks))
+}
+
+fn factorize_impl<'a, K: Kernel>(
+    st: &'a SkeletonTree,
+    kernel: &'a K,
+    config: SolverConfig,
+    blocks: Option<Arc<AssembledBlocks>>,
 ) -> Result<FactorTree<'a, K>, SolverError> {
     let t0 = Instant::now();
     let tree = st.tree();
@@ -180,7 +252,7 @@ pub fn factorize<'a, K: Kernel>(
         // levels, so we can hand out disjoint &mut via a scatter.
         let results: Vec<NodeResult> = level_nodes
             .par_iter()
-            .map(|&i| (i, factor_node(st, kernel, &config, &factors, i)))
+            .map(|&i| (i, factor_node(st, kernel, &config, blocks.as_deref(), &factors, i)))
             .collect();
         for (i, res) in results {
             let (nf, cost) = res?;
@@ -217,7 +289,7 @@ pub fn factorize<'a, K: Kernel>(
         max_rank,
         stored_bytes: total.bytes,
     };
-    Ok(FactorTree { st, kernel, config, factors, stats })
+    Ok(FactorTree { st, kernel, config, factors, stats, blocks })
 }
 
 /// Factorizes only the subtree rooted at `root_node` (used by the
@@ -252,7 +324,7 @@ pub(crate) fn factor_subtree<'a, K: Kernel>(
             by_level[level].iter().copied().filter(|&i| in_factored_region(st, i)).collect();
         let results: Vec<NodeResult> = level_nodes
             .par_iter()
-            .map(|&i| (i, factor_node(st, kernel, &config, &factors, i)))
+            .map(|&i| (i, factor_node(st, kernel, &config, None, &factors, i)))
             .collect();
         for (i, res) in results {
             let (nf, cost) = res?;
@@ -271,7 +343,7 @@ pub(crate) fn factor_subtree<'a, K: Kernel>(
         max_rank: 0,
         stored_bytes: total.bytes,
     };
-    Ok(FactorTree { st, kernel, config, factors, stats })
+    Ok(FactorTree { st, kernel, config, factors, stats, blocks: None })
 }
 
 /// A node is factorized iff it is skeletonized, or it is the root with both
@@ -295,17 +367,18 @@ fn factor_node<K: Kernel>(
     st: &SkeletonTree,
     kernel: &K,
     config: &SolverConfig,
+    blocks: Option<&AssembledBlocks>,
     factors: &[NodeFactors],
     node: usize,
 ) -> Result<(NodeFactors, NodeCost), SolverError> {
     let tree = st.tree();
     let nd = tree.node(node);
     match nd.children {
-        None => factor_leaf(st, kernel, config, node),
+        None => factor_leaf(st, kernel, config, blocks, node),
         Some((l, r)) => {
             let p_hat_l = factors[l].p_hat.as_ref().expect("child P-hat missing");
             let p_hat_r = factors[r].p_hat.as_ref().expect("child P-hat missing");
-            factor_internal(st, kernel, config, p_hat_l, p_hat_r, node, l, r)
+            factor_internal(st, kernel, config, blocks, p_hat_l, p_hat_r, node, l, r)
         }
     }
 }
@@ -318,20 +391,30 @@ pub(crate) fn factor_leaf_for_baseline<K: Kernel>(
     config: &SolverConfig,
     node: usize,
 ) -> Result<(NodeFactors, NodeCost), SolverError> {
-    factor_leaf(st, kernel, config, node)
+    factor_leaf(st, kernel, config, None, node)
 }
 
 fn factor_leaf<K: Kernel>(
     st: &SkeletonTree,
     kernel: &K,
     config: &SolverConfig,
+    blocks: Option<&AssembledBlocks>,
     node: usize,
 ) -> Result<(NodeFactors, NodeCost), SolverError> {
     let tree = st.tree();
     let nd = tree.node(node);
     let m = nd.len();
     let d = tree.points().dim();
-    let mut kaa = eval_symmetric(kernel, tree.points(), nd.range());
+    // Refactor path: copy the cached λ-independent K_αα (pooled storage,
+    // zero kernel evaluations — the eval flops live in AssembleStats);
+    // otherwise evaluate it fresh. Identical bits either way.
+    let (mut kaa, eval_flops) = match blocks.and_then(|b| b.node(node).kaa.as_ref()) {
+        Some(cached) => (workspace::mat_from_view(cached.rb()), 0.0),
+        None => (
+            eval_symmetric(kernel, tree.points(), nd.range()),
+            flops::summation_flops(m, m, d, kernel.flops_per_eval()),
+        ),
+    };
     for i in 0..m {
         kaa[(i, i)] += config.lambda;
     }
@@ -347,7 +430,7 @@ fn factor_leaf<K: Kernel>(
         }
     };
     let mut cost = NodeCost {
-        flops: factor_flops + flops::summation_flops(m, m, d, kernel.flops_per_eval()),
+        flops: factor_flops + eval_flops,
         min_pivot: leaf.min_pivot_ratio(),
         unstable: usize::from(leaf.min_pivot_ratio() < config.stability_threshold),
         bytes: m * m * 8,
@@ -394,6 +477,7 @@ pub(crate) fn build_reduced_system<K: Kernel>(
     st: &SkeletonTree,
     kernel: &K,
     config: &SolverConfig,
+    blocks: Option<&AssembledBlocks>,
     p_hat_l: &Mat,
     p_hat_r: &Mat,
     node: usize,
@@ -418,10 +502,22 @@ pub(crate) fn build_reduced_system<K: Kernel>(
     let mut v_rl = None;
     match config.storage {
         StorageMode::StoredGemv => {
-            // The sibling columns are contiguous permuted ranges: stream
-            // them straight off the point set, no index list materialized.
-            let klr = eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range());
-            let krl = eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range());
+            // Refactor path: the cached λ-independent coupling blocks are
+            // exactly the stored V blocks — copy them out of the assembly
+            // store (pooled) instead of re-evaluating the kernel. Fresh
+            // path: the sibling columns are contiguous permuted ranges,
+            // streamed straight off the point set. Identical bits.
+            let cached = blocks.map(|b| b.node(node));
+            let (klr, krl) = match cached {
+                Some(nb) if nb.k_lr.is_some() && nb.k_rl.is_some() => (
+                    workspace::mat_from_view(nb.k_lr.as_ref().expect("checked").rb()),
+                    workspace::mat_from_view(nb.k_rl.as_ref().expect("checked").rb()),
+                ),
+                _ => (
+                    eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range()),
+                    eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range()),
+                ),
+            };
             gemm(1.0, klr.rb(), Trans::No, p_hat_r.rb(), Trans::No, 0.0, b_l.rb_mut());
             gemm(1.0, krl.rb(), Trans::No, p_hat_l.rb(), Trans::No, 0.0, b_r.rb_mut());
             cost.bytes += (sl * nr + sr * nl) * 8;
@@ -496,6 +592,7 @@ pub(crate) fn factor_internal<K: Kernel>(
     st: &SkeletonTree,
     kernel: &K,
     config: &SolverConfig,
+    blocks: Option<&AssembledBlocks>,
     p_hat_l: &Mat,
     p_hat_r: &Mat,
     node: usize,
@@ -508,7 +605,7 @@ pub(crate) fn factor_internal<K: Kernel>(
     let (sl, sr) = (skl.rank(), skr.rank());
     let (nl, nr) = (tree.node(l).len(), tree.node(r).len());
     let ReducedSystem { b_l, b_r, z_lu, v_lr, v_rl, mut cost } =
-        build_reduced_system(st, kernel, config, p_hat_l, p_hat_r, node, l, r)?;
+        build_reduced_system(st, kernel, config, blocks, p_hat_l, p_hat_r, node, l, r)?;
     let zdim = sl + sr;
     let keep_b = config.w_storage == WStorage::Recompute;
     if keep_b {

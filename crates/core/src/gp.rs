@@ -13,12 +13,15 @@
 //!
 //! an `O(N log N)` determinant that normally costs `O(N³)`.
 
+use crate::assemble::{assemble_blocks, refactor_enabled};
 use crate::error::SolverError;
-use crate::factor::{factorize, FactorTree, LeafFactor};
+use crate::factor::{factorize, factorize_with_blocks, FactorTree, LeafFactor};
 use kfds_askit::{SkeletonTree, TreecodeEvaluator};
 use kfds_kernels::Kernel;
 use kfds_la::Mat;
 use kfds_tree::PointSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 impl<K: Kernel> FactorTree<'_, K> {
     /// `log |det(λI + K̃)|` from the factors (Sylvester's identity); the
@@ -44,6 +47,20 @@ impl<K: Kernel> FactorTree<'_, K> {
         }
         Ok(acc)
     }
+}
+
+/// One row of a GP noise-variance sweep ([`GaussianProcess::fit_best_noise`]).
+#[derive(Clone, Debug)]
+pub struct NoiseSweepEntry {
+    /// Observation noise variance `σ²` (enters as λ).
+    pub noise2: f64,
+    /// Log marginal likelihood at this noise level (`NaN` when failed).
+    pub log_marginal: f64,
+    /// Wall-clock seconds for the factorization + fit at this grid point
+    /// (for a failed point, the time spent failing).
+    pub factor_seconds: f64,
+    /// `true` iff factorization/fit failed outright at this grid point.
+    pub failed: bool,
 }
 
 /// A fitted Gaussian process (zero prior mean).
@@ -80,12 +97,105 @@ impl<'a, K: Kernel> GaussianProcess<'a, K> {
         assert_eq!(y.len(), n, "label length mismatch");
         let cfg = crate::SolverConfig::default().with_lambda(noise2);
         let ft = factorize(st, kernel, cfg)?;
-        let y_perm = st.tree().permute_vec(y);
+        Self::from_factor_tree(ft, noise2, y)
+    }
+
+    /// Finishes a fit over an already-built factorization: one solve for
+    /// `α`, the Sylvester log-determinant, and the cached `yᵀα`.
+    fn from_factor_tree(
+        ft: FactorTree<'a, K>,
+        noise2: f64,
+        y: &[f64],
+    ) -> Result<Self, SolverError> {
+        let y_perm = ft.skeleton_tree().tree().permute_vec(y);
         let mut alpha = y_perm.clone();
         ft.solve_in_place(&mut alpha)?;
         let log_det = ft.log_det()?;
         let y_dot_alpha = kfds_la::blas1::dot(&y_perm, &alpha);
         Ok(GaussianProcess { ft, alpha_perm: alpha, noise2, log_det, y_dot_alpha })
+    }
+
+    /// Fits the GP at every noise variance in `noise_grid` and returns
+    /// the fit maximizing the log marginal likelihood, plus the full
+    /// sweep curve — the GP model-selection loop the paper motivates.
+    ///
+    /// With λ-sweep refactorization active (the default;
+    /// `KFDS_REFACTOR=off` disables), the kernel blocks are assembled
+    /// once and every grid point pays only linear algebra; with it off,
+    /// every grid point runs a full [`factorize`] (the legacy path).
+    /// Grid points whose factorization fails are recorded in the curve
+    /// (`failed = true`, with honest elapsed seconds) and skipped for
+    /// model selection.
+    ///
+    /// # Errors
+    /// [`SolverError`] of the *last* failure when every grid point fails.
+    ///
+    /// # Panics
+    /// Panics on an empty grid, a non-positive noise variance, or a
+    /// label-length mismatch.
+    pub fn fit_best_noise(
+        st: &'a SkeletonTree,
+        kernel: &'a K,
+        noise_grid: &[f64],
+        y: &[f64],
+    ) -> Result<(Self, Vec<NoiseSweepEntry>), SolverError> {
+        Self::fit_best_noise_impl(st, kernel, noise_grid, y, refactor_enabled())
+    }
+
+    /// The sweep body, parameterized over the refactorization toggle so
+    /// A/B tests can pin either path without racing on the global switch.
+    pub(crate) fn fit_best_noise_impl(
+        st: &'a SkeletonTree,
+        kernel: &'a K,
+        noise_grid: &[f64],
+        y: &[f64],
+        use_refactor: bool,
+    ) -> Result<(Self, Vec<NoiseSweepEntry>), SolverError> {
+        assert!(!noise_grid.is_empty(), "noise grid must be non-empty");
+        assert!(noise_grid.iter().all(|&s| s > 0.0), "noise variances must be positive");
+        assert_eq!(y.len(), st.tree().points().len(), "label length mismatch");
+        // One assembly amortized across the whole noise grid.
+        let blocks = use_refactor.then(|| Arc::new(assemble_blocks(st, kernel)));
+        let mut curve = Vec::with_capacity(noise_grid.len());
+        let mut best: Option<Self> = None;
+        let mut last_err = None;
+        for &noise2 in noise_grid {
+            let cfg = crate::SolverConfig::default().with_lambda(noise2);
+            let t0 = Instant::now();
+            let fitted = match &blocks {
+                Some(b) => factorize_with_blocks(st, kernel, Arc::clone(b), cfg),
+                None => factorize(st, kernel, cfg),
+            }
+            .and_then(|ft| Self::from_factor_tree(ft, noise2, y));
+            let factor_seconds = t0.elapsed().as_secs_f64();
+            match fitted {
+                Ok(gp) => {
+                    let lml = gp.log_marginal_likelihood();
+                    curve.push(NoiseSweepEntry {
+                        noise2,
+                        log_marginal: lml,
+                        factor_seconds,
+                        failed: false,
+                    });
+                    if best.as_ref().map(|b| lml > b.log_marginal_likelihood()).unwrap_or(true) {
+                        best = Some(gp);
+                    }
+                }
+                Err(e) => {
+                    curve.push(NoiseSweepEntry {
+                        noise2,
+                        log_marginal: f64::NAN,
+                        factor_seconds,
+                        failed: true,
+                    });
+                    last_err = Some(e);
+                }
+            }
+        }
+        match best {
+            Some(gp) => Ok((gp, curve)),
+            None => Err(last_err.expect("non-empty grid with no fit must have an error")),
+        }
     }
 
     /// The log marginal likelihood

@@ -22,6 +22,7 @@
 //!   learning task;
 //! * [`stability`] — the §III conditioning diagnostics.
 
+pub mod assemble;
 pub mod baseline;
 pub mod config;
 pub mod crossval;
@@ -38,6 +39,10 @@ pub mod solve;
 pub mod stability;
 pub mod taskparallel;
 
+pub use assemble::{
+    assemble_blocks, refactor_enabled, set_refactor_enabled, AssembleStats, AssembledBlocks,
+    NodeBlocks,
+};
 pub use baseline::factorize_baseline;
 pub use config::{FactorStats, LeafFactorization, SolverConfig, StorageMode, WStorage};
 pub use crossval::{
@@ -45,13 +50,13 @@ pub use crossval::{
 };
 pub use dist::{dist_factorize, DistSolver};
 pub use error::SolverError;
-pub use factor::{factorize, FactorTree, LeafFactor, NodeFactors};
-pub use gp::GaussianProcess;
+pub use factor::{factorize, factorize_with_blocks, FactorTree, LeafFactor, NodeFactors};
+pub use gp::{GaussianProcess, NoiseSweepEntry};
 pub use hybrid::{HybridOutcome, HybridSolver};
 pub use leveldirect::LevelRestrictedDirect;
 pub use precond::{solve_exact_preconditioned, FactorPreconditioner};
 pub use regression::{KernelRidge, TrainReport};
-pub use share::SharedFactor;
+pub use share::{SharedFactor, SharedSetup};
 pub use stability::{estimate_condition, estimate_sigma1, ConditionEstimate};
 pub use taskparallel::factorize_taskparallel;
 

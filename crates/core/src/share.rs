@@ -13,15 +13,67 @@
 //! borrow lifetime (sound because `FactorTree` is covariant in its
 //! lifetime parameter).
 
+use crate::assemble::{assemble_blocks, refactor_enabled, AssembledBlocks};
 use crate::config::SolverConfig;
 use crate::error::SolverError;
-use crate::factor::{factorize, FactorTree};
+use crate::factor::{factorize, factorize_with_blocks, FactorTree};
 use crate::hybrid::HybridSolver;
 use kfds_askit::SkeletonTree;
 use kfds_kernels::Kernel;
 use kfds_krylov::GmresOptions;
 use kfds_la::Mat;
 use std::sync::Arc;
+
+/// The λ-independent half of a factorization, owned and shareable: the
+/// skeleton tree, the kernel, and the assembled kernel blocks
+/// ([`AssembledBlocks`]). A serving system caches one of these per
+/// `(dataset, n, h, seed)` and derives every λ-specific [`SharedFactor`]
+/// from it via [`SharedFactor::refactorize`], so a λ sweep pays for tree
+/// building, skeletonization, and kernel evaluation exactly once.
+pub struct SharedSetup<K: Kernel + 'static> {
+    st: Arc<SkeletonTree>,
+    kernel: Arc<K>,
+    blocks: Arc<AssembledBlocks>,
+}
+
+impl<K: Kernel + 'static> Clone for SharedSetup<K> {
+    fn clone(&self) -> Self {
+        SharedSetup {
+            st: Arc::clone(&self.st),
+            kernel: Arc::clone(&self.kernel),
+            blocks: Arc::clone(&self.blocks),
+        }
+    }
+}
+
+impl<K: Kernel + 'static> SharedSetup<K> {
+    /// Assembles the λ-independent kernel blocks over an owned skeleton
+    /// tree, producing a self-contained setup handle.
+    pub fn build(st: Arc<SkeletonTree>, kernel: Arc<K>) -> Self {
+        let blocks = Arc::new(assemble_blocks(&st, kernel.as_ref()));
+        SharedSetup { st, kernel, blocks }
+    }
+
+    /// The skeleton tree.
+    pub fn skeleton_tree(&self) -> &SkeletonTree {
+        &self.st
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The assembled λ-independent kernel blocks.
+    pub fn blocks(&self) -> &Arc<AssembledBlocks> {
+        &self.blocks
+    }
+
+    /// Problem size `N`.
+    pub fn n(&self) -> usize {
+        self.st.tree().points().len()
+    }
+}
 
 struct SharedInner<K: Kernel + 'static> {
     /// Declared first so it drops before the `Arc`s it points into.
@@ -63,6 +115,33 @@ impl<K: Kernel + 'static> SharedFactor<K> {
         // `SharedInner._kernel`, declared after `ft`, so it outlives it.
         let k_ref: &'static K = unsafe { &*Arc::as_ptr(&kernel) };
         let ft = factorize(st_ref, k_ref, config)?;
+        Ok(SharedFactor { inner: Arc::new(SharedInner { ft, _st: st, _kernel: kernel }) })
+    }
+
+    /// Factorizes at a new λ from a [`SharedSetup`], reusing its
+    /// assembled kernel blocks so only linear algebra runs (the λ-sweep
+    /// refactorization path; pins the stored `V`-block scheme). With
+    /// `KFDS_REFACTOR=off` this falls back to a full [`factorize`] under
+    /// `config`'s own storage mode — the legacy path, reproduced bitwise.
+    ///
+    /// # Errors
+    /// Propagates [`SolverError`] from the factorization.
+    pub fn refactorize(setup: &SharedSetup<K>, config: SolverConfig) -> Result<Self, SolverError> {
+        let st = Arc::clone(&setup.st);
+        let kernel = Arc::clone(&setup.kernel);
+        // SAFETY: as in [`Self::factorize`] — the Arc heap allocations are
+        // stable for the life of `SharedInner` (stored alongside the factor
+        // tree, declared after it, so they outlive it), neither type has
+        // interior mutability, and no method returns a reference outliving
+        // `&self`.
+        let st_ref: &'static SkeletonTree = unsafe { &*Arc::as_ptr(&st) };
+        // SAFETY: identical argument for the kernel Arc.
+        let k_ref: &'static K = unsafe { &*Arc::as_ptr(&kernel) };
+        let ft = if refactor_enabled() {
+            factorize_with_blocks(st_ref, k_ref, Arc::clone(&setup.blocks), config)?
+        } else {
+            factorize(st_ref, k_ref, config)?
+        };
         Ok(SharedFactor { inner: Arc::new(SharedInner { ft, _st: st, _kernel: kernel }) })
     }
 
@@ -161,5 +240,36 @@ mod tests {
             x[0]
         });
         assert!(th.join().expect("join").is_finite());
+    }
+
+    #[test]
+    fn refactorize_matches_shared_factorize_bitwise() {
+        use crate::config::StorageMode;
+        let n = 512;
+        let pts = normal_embedded(n, 3, 6, 0.05, 11);
+        let kernel = Gaussian::new(0.9);
+        let tree = BallTree::build(&pts, 64);
+        let st = Arc::new(skeletonize(
+            tree,
+            &kernel,
+            SkelConfig::default().with_tol(1e-5).with_max_rank(48).with_neighbors(8),
+        ));
+        let kernel = Arc::new(kernel);
+        let setup = SharedSetup::build(Arc::clone(&st), Arc::clone(&kernel));
+        assert_eq!(setup.n(), n);
+        // The refactor contract pins stored V-blocks, so the reference
+        // factorization must run under the same storage mode.
+        let base = SolverConfig::default().with_storage(StorageMode::StoredGemv);
+        for lambda in [1e-3, 0.3, 5.0] {
+            let cfg = base.with_lambda(lambda);
+            let fresh =
+                SharedFactor::factorize(Arc::clone(&st), Arc::clone(&kernel), cfg).expect("fresh");
+            let re = SharedFactor::refactorize(&setup, cfg).expect("refactorize");
+            let mut want = vec![0.25; n];
+            let mut got = vec![0.25; n];
+            fresh.solve_in_place(&mut want).expect("fresh solve");
+            re.solve_in_place(&mut got).expect("refactor solve");
+            assert_eq!(got, want, "refactorize must be bitwise at λ={lambda}");
+        }
     }
 }

@@ -104,7 +104,7 @@ fn factor_task<K: Kernel>(
                     gl.as_ref().and_then(|f| f.p_hat.as_ref()).expect("child P-hat missing");
                 let p_hat_r =
                     gr.as_ref().and_then(|f| f.p_hat.as_ref()).expect("child P-hat missing");
-                factor_internal(st, kernel, config, p_hat_l, p_hat_r, node, l, r)?
+                factor_internal(st, kernel, config, None, p_hat_l, p_hat_r, node, l, r)?
             };
             let mut combined = out.1;
             combined.flops += cl.flops + cr.flops;

@@ -672,3 +672,312 @@ fn rhs_norm_preserved_shape() {
         assert!(nrm2(&x) > 0.0);
     }
 }
+
+mod refactor {
+    //! λ-sweep refactorization: the blocked path must be bitwise
+    //! identical to a fresh `factorize` under `StoredGemv`, across
+    //! successes *and* failures, and the sweep consumers must agree
+    //! between the refactor and legacy paths.
+
+    use super::*;
+    use crate::assemble::assemble_blocks;
+    use crate::config::LeafFactorization;
+    use crate::factor::{factorize_with_blocks, FactorTree};
+    use crate::gp::GaussianProcess;
+    use kfds_kernels::Kernel;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn solve_bits<K: Kernel>(ft: &FactorTree<'_, K>, b: &[f64]) -> Vec<u64> {
+        let mut x = b.to_vec();
+        ft.solve_in_place(&mut x).expect("solve");
+        x.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn blocked_factorize_is_bitwise_fresh_stored_gemv() {
+        let (st, kernel) = fixture(1, 1e-5);
+        let blocks = Arc::new(assemble_blocks(&st, &kernel));
+        assert!(blocks.stats().bytes > 0 && blocks.stats().kernel_flops > 0.0);
+        let b = rand_vec(512, 23);
+        let base = SolverConfig::default().with_storage(StorageMode::StoredGemv);
+        for lambda in [1e-3, 0.1, 0.5, 10.0] {
+            let fresh = factorize(&st, &kernel, base.with_lambda(lambda)).expect("fresh");
+            let blocked =
+                factorize_with_blocks(&st, &kernel, Arc::clone(&blocks), base.with_lambda(lambda))
+                    .expect("blocked");
+            assert_eq!(
+                solve_bits(&fresh, &b),
+                solve_bits(&blocked, &b),
+                "lambda {lambda}: blocked solve must be bitwise fresh-StoredGemv"
+            );
+            assert_eq!(
+                fresh.log_det().expect("ld").to_bits(),
+                blocked.log_det().expect("ld").to_bits(),
+                "lambda {lambda}: log det must match bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_factorize_normalizes_storage_mode() {
+        // A Gsks-base config routed through the blocked path must come out
+        // StoredGemv (the cached blocks ARE the stored V blocks).
+        let (st, kernel) = fixture(1, 1e-5);
+        let blocks = Arc::new(assemble_blocks(&st, &kernel));
+        let ft =
+            factorize_with_blocks(&st, &kernel, blocks, SolverConfig::default()).expect("blocked");
+        assert_eq!(ft.config().storage, StorageMode::StoredGemv);
+    }
+
+    #[test]
+    fn refactor_chains_without_reassembly() {
+        let (st, kernel) = fixture(1, 1e-5);
+        let b = rand_vec(512, 29);
+        // Start from a legacy (Gsks-storage, block-less) tree: the first
+        // refactor assembles, the second reuses the same store.
+        let ft = factorize(&st, &kernel, SolverConfig::default().with_lambda(0.5)).expect("f");
+        assert!(ft.assembled_blocks().is_none());
+        let r1 = ft.refactor(0.05).expect("refactor 1");
+        let r2 = r1.refactor(2.0).expect("refactor 2");
+        let b1 = r1.assembled_blocks().expect("r1 carries blocks");
+        let b2 = r2.assembled_blocks().expect("r2 carries blocks");
+        assert!(Arc::ptr_eq(b1, b2), "chained refactor must reuse the assembly");
+        // Each refactor is bitwise a fresh StoredGemv factorize at its λ.
+        for (rf, lambda) in [(&r1, 0.05), (&r2, 2.0)] {
+            let fresh = factorize(
+                &st,
+                &kernel,
+                SolverConfig::default().with_storage(StorageMode::StoredGemv).with_lambda(lambda),
+            )
+            .expect("fresh");
+            assert_eq!(solve_bits(&fresh, &b), solve_bits(rf, &b), "lambda {lambda}");
+        }
+        // Zero kernel-eval flops on the refactor path: all the eval work
+        // is attributed to AssembleStats, so the LA-only flop count must
+        // be well below the fresh factorize's (which counts evaluation).
+        let fresh_gsks =
+            factorize(&st, &kernel, SolverConfig::default().with_lambda(0.05)).expect("f");
+        assert!(
+            r1.stats().flops < fresh_gsks.stats().flops,
+            "refactor flops {} must exclude kernel evaluation (fresh {})",
+            r1.stats().flops,
+            fresh_gsks.stats().flops
+        );
+    }
+
+    #[test]
+    fn blocked_path_agrees_on_failure() {
+        // λ far below -||K||: the shifted leaf blocks go negative
+        // definite and Cholesky must refuse on both paths.
+        let (st, kernel) = fixture(1, 1e-5);
+        let blocks = Arc::new(assemble_blocks(&st, &kernel));
+        let cfg = SolverConfig::default()
+            .with_storage(StorageMode::StoredGemv)
+            .with_leaf(LeafFactorization::Cholesky)
+            .with_lambda(-1e3);
+        let fresh = factorize(&st, &kernel, cfg);
+        let blocked = factorize_with_blocks(&st, &kernel, blocks, cfg);
+        assert!(fresh.is_err(), "fresh path must fail at this λ");
+        assert!(blocked.is_err(), "blocked path must fail at this λ");
+    }
+
+    #[test]
+    fn lambda_sweep_refactor_matches_legacy_bitwise() {
+        let (pts, labels) = two_class_annulus(400, 3, 77);
+        let train = pts.select(&(0..320).collect::<Vec<_>>());
+        let valid = pts.select(&(320..400).collect::<Vec<_>>());
+        let kernel = Gaussian::new(0.5);
+        let tree = BallTree::build(&train, 32);
+        let st = skeletonize(
+            tree,
+            &kernel,
+            SkelConfig::default().with_tol(1e-6).with_max_rank(96).with_neighbors(8),
+        );
+        let y_perm = st.tree().permute_vec(&labels[..320]);
+        // A StoredGemv + Cholesky base makes both paths take identical
+        // code per λ, and the negative λ fails on both.
+        let base = SolverConfig::default()
+            .with_storage(StorageMode::StoredGemv)
+            .with_leaf(LeafFactorization::Cholesky);
+        let lambdas = [10.0, 0.1, -1e3, 1e-3];
+        let on = crate::crossval::lambda_sweep_impl(
+            &st,
+            &kernel,
+            base,
+            &lambdas,
+            &y_perm,
+            Some((&valid, &labels[320..])),
+            true,
+        );
+        let off = crate::crossval::lambda_sweep_impl(
+            &st,
+            &kernel,
+            base,
+            &lambdas,
+            &y_perm,
+            Some((&valid, &labels[320..])),
+            false,
+        );
+        assert_eq!(on.len(), off.len());
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.lambda, b.lambda);
+            assert_eq!(a.failed, b.failed, "lambda {}", a.lambda);
+            assert_eq!(a.unstable, b.unstable, "lambda {}", a.lambda);
+            assert_eq!(
+                a.residual.to_bits(),
+                b.residual.to_bits(),
+                "lambda {}: refactor-path residual must be bitwise legacy",
+                a.lambda
+            );
+            assert_eq!(
+                a.accuracy.map(f64::to_bits),
+                b.accuracy.map(f64::to_bits),
+                "lambda {}",
+                a.lambda
+            );
+        }
+        // The failed entry reports honest timing and the distinct marker.
+        let failed: Vec<_> = on.iter().filter(|e| e.failed).collect();
+        assert_eq!(failed.len(), 1, "exactly the negative λ fails");
+        assert_eq!(failed[0].lambda, -1e3);
+        assert!(failed[0].factor_seconds > 0.0, "failed λ must report elapsed time, not 0.0");
+        assert!(failed[0].unstable && failed[0].residual.is_nan());
+        // Completed entries are unfailed regardless of stability flags.
+        assert!(on.iter().filter(|e| !e.failed).all(|e| e.factor_seconds > 0.0));
+    }
+
+    #[test]
+    fn grid_search_hoisted_tree_matches_per_h_rebuild() {
+        // The hoisted (one tree + one kNN for the whole grid) search must
+        // pick the same (h, λ, accuracy) as the legacy shape that rebuilt
+        // the tree per h — tree build and kNN are pure geometry.
+        let (pts, labels) = two_class_annulus(400, 3, 5);
+        let train = pts.select(&(0..320).collect::<Vec<_>>());
+        let valid = pts.select(&(320..400).collect::<Vec<_>>());
+        let hs = [0.3, 0.6, 1.2];
+        let lambdas = [1.0, 1e-2];
+        let skel = SkelConfig::default().with_tol(1e-6).with_max_rank(96).with_neighbors(8);
+        let got = crate::grid_search_gaussian(
+            &train,
+            &labels[..320],
+            &valid,
+            &labels[320..],
+            &hs,
+            &lambdas,
+            32,
+            skel.clone(),
+        );
+        // Reference: the pre-hoist loop shape.
+        let mut want: Option<(f64, f64, f64)> = None;
+        for &h in &hs {
+            let kernel = Gaussian::new(h);
+            let tree = BallTree::build(&train, 32);
+            let st = skeletonize(tree, &kernel, skel.clone());
+            let y_perm = st.tree().permute_vec(&labels[..320]);
+            let entries = crate::lambda_sweep(
+                &st,
+                &kernel,
+                SolverConfig::default(),
+                &lambdas,
+                &y_perm,
+                Some((&valid, &labels[320..])),
+            );
+            for e in entries {
+                let acc = e.accuracy.unwrap_or(0.0);
+                if !e.unstable && want.map(|(_, _, a)| acc > a).unwrap_or(true) {
+                    want = Some((h, e.lambda, acc));
+                }
+            }
+        }
+        let (gh, gl, ga) = got.expect("grid search finds a best");
+        let (wh, wl, wa) = want.expect("reference finds a best");
+        assert_eq!((gh, gl), (wh, wl), "hoisted grid must pick the same (h, λ)");
+        assert_eq!(ga.to_bits(), wa.to_bits(), "same best accuracy bitwise");
+        assert!(ga > 0.8, "annulus accuracy {ga}");
+    }
+
+    #[test]
+    fn gp_noise_grid_shares_one_assembly() {
+        let pts = normal_embedded(256, 2, 5, 0.05, 71);
+        let tree = BallTree::build(&pts, 32);
+        let kernel = Gaussian::new(1.5);
+        let st = skeletonize(
+            tree,
+            &kernel,
+            SkelConfig::default().with_tol(1e-10).with_max_rank(160).with_neighbors(12),
+        );
+        let y: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).sin()).collect();
+        let grid = [1e-3, 0.05, 0.5, 5.0];
+        let (gp_on, curve_on) =
+            GaussianProcess::fit_best_noise_impl(&st, &kernel, &grid, &y, true).expect("on");
+        let (gp_off, curve_off) =
+            GaussianProcess::fit_best_noise_impl(&st, &kernel, &grid, &y, false).expect("off");
+        assert_eq!(curve_on.len(), 4);
+        assert!(curve_on.iter().all(|e| !e.failed && e.factor_seconds > 0.0));
+        // Both paths pick the same model; LMLs agree to storage-mode
+        // reassociation tolerance (off runs the Gsks default).
+        assert_eq!(gp_on.noise_variance(), gp_off.noise_variance());
+        for (a, b) in curve_on.iter().zip(&curve_off) {
+            let scale = b.log_marginal.abs().max(1.0);
+            assert!(
+                (a.log_marginal - b.log_marginal).abs() < 1e-6 * scale,
+                "noise {}: {} vs {}",
+                a.noise2,
+                a.log_marginal,
+                b.log_marginal
+            );
+        }
+        // The selected noise maximizes the curve.
+        let best = curve_on
+            .iter()
+            .max_by(|a, b| a.log_marginal.partial_cmp(&b.log_marginal).expect("no NaN"))
+            .expect("non-empty");
+        assert_eq!(best.noise2, gp_on.noise_variance());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Random geometry, leaf size, and λ grid: `refactor(λ)` must be
+        /// bitwise a fresh StoredGemv factorize at every λ.
+        #[test]
+        fn prop_refactor_bitwise(
+            seed in 0u64..1000,
+            leaf in 16usize..48,
+            lambdas in proptest::collection::vec(-2.0f64..4.0, 1..4),
+        ) {
+            let pts = normal_embedded(160, 2, 5, 0.05, seed);
+            let tree = BallTree::build(&pts, leaf);
+            let kernel = Gaussian::new(1.0);
+            let st = skeletonize(
+                tree,
+                &kernel,
+                SkelConfig::default().with_tol(1e-7).with_max_rank(64).with_neighbors(8),
+            );
+            let blocks = Arc::new(assemble_blocks(&st, &kernel));
+            let b = rand_vec(160, seed | 1);
+            let base = SolverConfig::default().with_storage(StorageMode::StoredGemv);
+            for &raw in &lambdas {
+                // 10^raw spans strongly- to weakly-regularized regimes.
+                let lambda = 10f64.powf(raw);
+                let cfg = base.with_lambda(lambda);
+                let fresh = factorize(&st, &kernel, cfg);
+                let blocked = factorize_with_blocks(&st, &kernel, Arc::clone(&blocks), cfg);
+                match (fresh, blocked) {
+                    (Ok(f), Ok(bl)) => {
+                        prop_assert_eq!(solve_bits(&f, &b), solve_bits(&bl, &b));
+                    }
+                    (Err(_), Err(_)) => {}
+                    (f, bl) => {
+                        prop_assert!(
+                            false,
+                            "paths disagree at λ={}: fresh ok={} blocked ok={}",
+                            lambda, f.is_ok(), bl.is_ok()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

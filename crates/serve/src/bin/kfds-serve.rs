@@ -8,18 +8,20 @@
 //!            [--timeout-ms T] [--smoke]
 //! ```
 //!
-//! Each of the `K` factorization keys maps to its own dataset seed and
-//! regularization, so the run exercises the cache (K misses, everything
-//! else hits) as well as the batcher (C concurrent clients submitting
+//! The `K` factorization keys share one dataset/bandwidth/seed and vary
+//! **only in λ** — the cross-validation sweep shape — so the run drives
+//! the two-level cache: exactly one λ-free setup build (tree + kNN +
+//! skeletonization + kernel-block assembly), with every λ paying only the
+//! refactorization, plus the batcher (C concurrent clients submitting
 //! against few keys coalesce into blocked solves). `--smoke` shrinks the
 //! problem and asserts a clean run — zero errors, every request answered,
-//! cache hit rate above zero — exiting nonzero otherwise, which is what
-//! `ci.sh` runs.
+//! cache hit rate above zero, **setup built exactly once** — exiting
+//! nonzero otherwise, which is what `ci.sh` runs.
 
 use kfds_askit::{skeletonize, SkelConfig};
-use kfds_core::{SharedFactor, SolverConfig, StorageMode};
+use kfds_core::{SharedSetup, SolverConfig, StorageMode};
 use kfds_kernels::Gaussian;
-use kfds_serve::{FactorKey, ServeConfig, ServeError, SolveService};
+use kfds_serve::{FactorKey, ServeConfig, ServeError, SetupKey, SolveService};
 use kfds_tree::datasets::normal_embedded;
 use kfds_tree::BallTree;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,11 +88,11 @@ fn parse_args() -> Args {
     args
 }
 
-/// Builds a factorization for a key: the key's seed picks the dataset,
-/// its `h`/`λ` the kernel and regularization. StoredGemv is the
-/// fastest-solve storage mode, the right trade for serve-style workloads
-/// (factor once, solve many).
-fn build_factor(key: &FactorKey) -> Result<SharedFactor<Gaussian>, ServeError> {
+/// Builds the λ-free setup for a key: the key's seed picks the dataset,
+/// its `h` the kernel. All the λ keys derived from this setup then pay
+/// only the refactorization (StoredGemv — the fastest-solve storage mode,
+/// the right trade for serve-style workloads: factor once, solve many).
+fn build_setup(key: &SetupKey) -> Result<SharedSetup<Gaussian>, ServeError> {
     let pts = normal_embedded(key.n, 3, 8, 0.05, key.seed);
     let kernel = Gaussian::new(key.h());
     let tree = BallTree::build(&pts, 256);
@@ -99,16 +101,15 @@ fn build_factor(key: &FactorKey) -> Result<SharedFactor<Gaussian>, ServeError> {
         &kernel,
         SkelConfig::default().with_tol(1e-5).with_max_rank(64).with_neighbors(8).with_max_level(1),
     );
-    let cfg =
-        SolverConfig::default().with_lambda(key.lambda()).with_storage(StorageMode::StoredGemv);
-    SharedFactor::factorize(Arc::new(st), Arc::new(kernel), cfg)
-        .map_err(|e| ServeError::FactorizationFailed(e.to_string()))
+    Ok(SharedSetup::build(Arc::new(st), Arc::new(kernel)))
 }
 
 fn main() {
     let args = parse_args();
+    // λ-only key spread over one (dataset, n, h, seed): the shape of a
+    // regularization sweep, and the best case for the two-level cache.
     let keys: Vec<FactorKey> = (0..args.keys)
-        .map(|i| FactorKey::new("normal3d8", args.n, 1.0, 0.5 + 0.25 * i as f64, 42 + i as u64))
+        .map(|i| FactorKey::new("normal3d8", args.n, 1.0, 0.5 + 0.25 * i as f64, 42))
         .collect();
 
     let cfg = ServeConfig::default()
@@ -117,7 +118,8 @@ fn main() {
         .with_high_water(args.high_water)
         .with_default_timeout(Duration::from_millis(args.timeout_ms))
         .with_cache_capacity(args.keys.max(2));
-    let svc = Arc::new(SolveService::start(cfg, build_factor));
+    let base = SolverConfig::default().with_storage(StorageMode::StoredGemv);
+    let svc = Arc::new(SolveService::start_two_level(cfg, base, build_setup));
 
     // Warm the cache up front so the measured phase is pure serving.
     for key in &keys {
@@ -176,28 +178,40 @@ fn main() {
     let rps = answered.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64();
     println!("{}", stats.to_json());
     eprintln!(
-        "served {} requests in {:.2}s ({rps:.1} rps, mean batch {:.2}, cache hit rate {:.3})",
+        "served {} requests in {:.2}s ({rps:.1} rps, mean batch {:.2}, cache hit rate {:.3}, \
+         setup builds {})",
         answered.load(Ordering::Relaxed),
         elapsed.as_secs_f64(),
         stats.mean_batch,
         stats.cache_hit_rate(),
+        stats.setup_builds,
     );
 
     if args.smoke {
+        // The keys differ only in λ, so the whole run must perform exactly
+        // one setup build (tree + skeletonization + assembly) — that is
+        // the amortization the two-level cache exists for.
         let ok = stats.errors == 0
             && failed.load(Ordering::Relaxed) == 0
             && answered.load(Ordering::Relaxed) as usize == total
             && stats.cache_hit_rate() > 0.0
-            && stats.cache_poisoned == 0;
+            && stats.cache_poisoned == 0
+            && stats.setup_builds == 1
+            && stats.full_misses == 1
+            && stats.setup_hits == args.keys as u64 - 1;
         if !ok {
             eprintln!(
-                "SMOKE FAIL: errors={} failed={} answered={}/{} hit_rate={:.3} poisoned={}",
+                "SMOKE FAIL: errors={} failed={} answered={}/{} hit_rate={:.3} poisoned={} \
+                 setup_builds={} setup_hits={} full_misses={}",
                 stats.errors,
                 failed.load(Ordering::Relaxed),
                 answered.load(Ordering::Relaxed),
                 total,
                 stats.cache_hit_rate(),
                 stats.cache_poisoned,
+                stats.setup_builds,
+                stats.setup_hits,
+                stats.full_misses,
             );
             std::process::exit(1);
         }

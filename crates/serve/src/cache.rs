@@ -75,6 +75,47 @@ impl std::fmt::Display for FactorKey {
     }
 }
 
+/// The λ-free prefix of a [`FactorKey`]: everything that identifies the
+/// expensive, λ-independent setup (tree + kNN + skeletonization + kernel
+/// block assembly). A λ-sweep maps many `FactorKey`s onto one `SetupKey`,
+/// which is exactly what the two-level cache exploits.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SetupKey {
+    /// Dataset identifier (the service's builder maps it to points).
+    pub dataset: String,
+    /// Problem size `N`.
+    pub n: usize,
+    h_bits: u64,
+    /// Seed of the tree / dataset construction.
+    pub seed: u64,
+}
+
+impl SetupKey {
+    /// Builds a key from the plain configuration values.
+    pub fn new(dataset: impl Into<String>, n: usize, h: f64, seed: u64) -> Self {
+        SetupKey { dataset: dataset.into(), n, h_bits: h.to_bits(), seed }
+    }
+
+    /// Kernel bandwidth.
+    pub fn h(&self) -> f64 {
+        f64::from_bits(self.h_bits)
+    }
+}
+
+impl From<&FactorKey> for SetupKey {
+    /// Drops the λ component: factor keys that differ only in λ share a
+    /// setup entry.
+    fn from(k: &FactorKey) -> Self {
+        SetupKey { dataset: k.dataset.clone(), n: k.n, h_bits: k.h_bits, seed: k.seed }
+    }
+}
+
+impl std::fmt::Display for SetupKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[n={}, h={}, seed={}]", self.dataset, self.n, self.h(), self.seed)
+    }
+}
+
 /// Why a cache lookup failed.
 #[derive(Clone, Debug)]
 pub enum CacheError {
@@ -106,26 +147,35 @@ enum Slot<V> {
     Poisoned(String),
 }
 
-struct CacheState<V> {
-    map: HashMap<FactorKey, Slot<V>>,
+struct CacheState<Key, V> {
+    map: HashMap<Key, Slot<V>>,
     /// Monotonic recency clock for LRU.
     tick: u64,
 }
 
-/// LRU + single-flight + quarantine cache of factorization handles.
-pub struct FactorCache<V: Clone> {
+/// LRU + single-flight + quarantine cache, generic over the key: the
+/// factor stage keys on [`FactorKey`] (λ included), the setup stage on
+/// [`SetupKey`] (λ-free). Both levels share this one implementation, so
+/// the single-flight and quarantine semantics are identical.
+pub struct SingleFlightCache<Key: Clone + Eq + std::hash::Hash, V: Clone> {
     capacity: usize,
-    state: Mutex<CacheState<V>>,
+    state: Mutex<CacheState<Key, V>>,
     cv: Condvar,
     builds: AtomicU64,
 }
 
-impl<V: Clone> FactorCache<V> {
+/// The λ-level factorization cache (the historical name).
+pub type FactorCache<V> = SingleFlightCache<FactorKey, V>;
+
+/// The λ-free setup cache (skeleton tree + assembled blocks).
+pub type SetupCache<V> = SingleFlightCache<SetupKey, V>;
+
+impl<Key: Clone + Eq + std::hash::Hash, V: Clone> SingleFlightCache<Key, V> {
     /// Creates a cache retaining at most `capacity` ready factorizations
     /// (`capacity` is clamped to ≥ 1). Poisoned keys are quarantine
     /// records, not cached values, and do not count against the capacity.
     pub fn new(capacity: usize) -> Self {
-        FactorCache {
+        SingleFlightCache {
             capacity: capacity.max(1),
             state: Mutex::new(CacheState { map: HashMap::new(), tick: 0 }),
             cv: Condvar::new(),
@@ -144,7 +194,7 @@ impl<V: Clone> FactorCache<V> {
     /// errored or panicked (the key becomes quarantined).
     pub fn get_or_build<E: std::fmt::Display>(
         &self,
-        key: &FactorKey,
+        key: &Key,
         build: impl FnOnce() -> Result<V, E>,
     ) -> Result<(V, bool), CacheError> {
         let mut st = self.state.lock();
@@ -196,9 +246,9 @@ impl<V: Clone> FactorCache<V> {
         outcome
     }
 
-    fn evict_lru(&self, st: &mut CacheState<V>) {
+    fn evict_lru(&self, st: &mut CacheState<Key, V>) {
         loop {
-            let ready: Vec<(&FactorKey, u64)> = st
+            let ready: Vec<(&Key, u64)> = st
                 .map
                 .iter()
                 .filter_map(|(k, s)| match s {
@@ -218,7 +268,7 @@ impl<V: Clone> FactorCache<V> {
     /// Quarantines `key` explicitly (e.g. after a solve panic), so later
     /// requests fail fast instead of re-dispatching onto a bad
     /// factorization.
-    pub fn poison(&self, key: &FactorKey, reason: impl Into<String>) {
+    pub fn poison(&self, key: &Key, reason: impl Into<String>) {
         let mut st = self.state.lock();
         st.map.insert(key.clone(), Slot::Poisoned(reason.into()));
         drop(st);

@@ -10,7 +10,11 @@
 //! * [`FactorCache`] — single-flight, LRU-evicting cache of owned
 //!   factorization handles ([`kfds_core::SharedFactor`]) keyed by
 //!   [`FactorKey`] `(dataset, n, kernel bandwidth, λ, tree seed)`; failed
-//!   or panicking builds quarantine their key.
+//!   or panicking builds quarantine their key. The two-level service
+//!   ([`SolveService::start_two_level`]) adds a [`SetupCache`] keyed by
+//!   the λ-free [`SetupKey`], so factor keys differing only in λ share
+//!   one tree + skeletonization + kernel-block assembly
+//!   ([`kfds_core::SharedSetup`]) and pay only the refactorization.
 //! * [`SolveService`] — bounded request queue + worker threads with
 //!   adaptive micro-batching: same-key requests are coalesced (up to
 //!   `max_batch`) into one blocked multi-RHS solve, with a short linger
@@ -29,7 +33,7 @@ pub mod cache;
 pub mod service;
 pub mod stats;
 
-pub use cache::{CacheError, FactorCache, FactorKey};
+pub use cache::{CacheError, FactorCache, FactorKey, SetupCache, SetupKey, SingleFlightCache};
 pub use service::{set_batching_enabled, ServeConfig, SolveService, Ticket};
 pub use stats::{Quantiles, ServeStats};
 

@@ -30,10 +30,10 @@
 //! async executor dependency, and solves still use the rayon pool
 //! internally.
 
-use crate::cache::{CacheError, FactorCache, FactorKey};
+use crate::cache::{CacheError, FactorCache, FactorKey, SetupCache, SetupKey};
 use crate::stats::{Metrics, ServeStats};
 use crate::ServeError;
-use kfds_core::SharedFactor;
+use kfds_core::{SharedFactor, SharedSetup, SolverConfig};
 use kfds_kernels::Kernel;
 use kfds_krylov::GmresOptions;
 use kfds_la::Mat;
@@ -200,14 +200,46 @@ struct QueueState {
     open: bool,
 }
 
+/// How factor-cache misses are filled.
+enum BuildMode<K: Kernel + 'static> {
+    /// Legacy single-level service: one builder maps a [`FactorKey`]
+    /// straight to a factorization (tree + skeletonization + assembly +
+    /// factors, all per λ).
+    Single(
+        #[allow(clippy::type_complexity)]
+        Box<dyn Fn(&FactorKey) -> Result<SharedFactor<K>, ServeError> + Send + Sync>,
+    ),
+    /// Two-level service: a λ-free [`SetupKey`] resolves the expensive
+    /// setup ([`SharedSetup`]: tree + skeletonization + assembled kernel
+    /// blocks) through its own single-flight cache, and each λ pays only
+    /// [`SharedFactor::refactorize`]. A factor-level failure quarantines
+    /// the λ key alone; the setup entry keeps serving other λ.
+    TwoLevel {
+        setups: SetupCache<SharedSetup<K>>,
+        #[allow(clippy::type_complexity)]
+        builder: Box<dyn Fn(&SetupKey) -> Result<SharedSetup<K>, ServeError> + Send + Sync>,
+        /// λ-agnostic solver configuration; each key's λ is stamped in.
+        base: SolverConfig,
+    },
+}
+
 struct Shared<K: Kernel + 'static> {
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     cv: Condvar,
     cache: FactorCache<SharedFactor<K>>,
-    #[allow(clippy::type_complexity)]
-    builder: Box<dyn Fn(&FactorKey) -> Result<SharedFactor<K>, ServeError> + Send + Sync>,
+    mode: BuildMode<K>,
     metrics: Metrics,
+}
+
+impl<K: Kernel + 'static> Shared<K> {
+    /// `(ready setups, setup builds)` — zeros for a single-level service.
+    fn setup_cache_stats(&self) -> (usize, u64) {
+        match &self.mode {
+            BuildMode::Single(_) => (0, 0),
+            BuildMode::TwoLevel { setups, .. } => (setups.ready_len(), setups.builds()),
+        }
+    }
 }
 
 /// The batched solve service. Construct with [`SolveService::start`],
@@ -226,12 +258,34 @@ impl<K: Kernel + 'static> SolveService<K> {
         cfg: ServeConfig,
         builder: impl Fn(&FactorKey) -> Result<SharedFactor<K>, ServeError> + Send + Sync + 'static,
     ) -> Self {
+        Self::start_with_mode(cfg, BuildMode::Single(Box::new(builder)))
+    }
+
+    /// Starts a two-level service: `setup_builder` maps a λ-free
+    /// [`SetupKey`] to an owned [`SharedSetup`] (tree + skeletonization +
+    /// assembled kernel blocks — built at most once per setup,
+    /// single-flight), and every [`FactorKey`] miss then pays only
+    /// [`SharedFactor::refactorize`] at `base.with_lambda(key.lambda())`.
+    /// A λ sweep therefore runs the setup builder exactly once.
+    pub fn start_two_level(
+        cfg: ServeConfig,
+        base: SolverConfig,
+        setup_builder: impl Fn(&SetupKey) -> Result<SharedSetup<K>, ServeError> + Send + Sync + 'static,
+    ) -> Self {
+        let setups = SetupCache::new(cfg.cache_capacity);
+        Self::start_with_mode(
+            cfg,
+            BuildMode::TwoLevel { setups, builder: Box::new(setup_builder), base },
+        )
+    }
+
+    fn start_with_mode(cfg: ServeConfig, mode: BuildMode<K>) -> Self {
         let shared = Arc::new(Shared {
             cache: FactorCache::new(cfg.cache_capacity),
             cfg,
             queue: Mutex::new(QueueState { deque: VecDeque::new(), open: true }),
             cv: Condvar::new(),
-            builder: Box::new(builder),
+            mode,
             metrics: Metrics::default(),
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -295,16 +349,26 @@ impl<K: Kernel + 'static> SolveService<K> {
     /// Snapshot of all counters and histograms.
     pub fn stats(&self) -> ServeStats {
         let depth = self.shared.queue.lock().deque.len();
+        let (setup_entries, setup_builds) = self.shared.setup_cache_stats();
         self.shared.metrics.snapshot(
             depth,
             self.shared.cache.ready_len(),
             self.shared.cache.poisoned_len(),
+            setup_entries,
+            setup_builds,
         )
     }
 
     /// How many factorization builders have run (cache diagnostics).
     pub fn factor_builds(&self) -> u64 {
         self.shared.cache.builds()
+    }
+
+    /// How many λ-free setup builders have run (always 0 for a
+    /// single-level service). A λ sweep over one dataset/h/seed must
+    /// leave this at 1.
+    pub fn setup_builds(&self) -> u64 {
+        self.shared.setup_cache_stats().1
     }
 
     /// Closes the queue, drains it (pending requests are answered
@@ -323,10 +387,13 @@ impl<K: Kernel + 'static> SolveService<K> {
             req.cell.fulfill(Err(ServeError::ShuttingDown));
         }
         drop(q);
+        let (setup_entries, setup_builds) = self.shared.setup_cache_stats();
         self.shared.metrics.snapshot(
             0,
             self.shared.cache.ready_len(),
             self.shared.cache.poisoned_len(),
+            setup_entries,
+            setup_builds,
         )
     }
 }
@@ -404,13 +471,37 @@ fn dispatch<K: Kernel + 'static>(sh: &Shared<K>, batch: Vec<Request>) {
         return;
     }
     let key = live[0].key.clone();
-    // Resolve the factorization (single-flight; failures quarantine).
-    let sf = match sh.cache.get_or_build(&key, || (sh.builder)(&key)) {
+    // Resolve the factorization (single-flight; failures quarantine the λ
+    // key). In two-level mode the λ-free setup resolves through its own
+    // cache *inside* the factor build closure, so a refactorization
+    // failure poisons only this λ — the setup entry keeps serving.
+    // `setup_hit` stays `None` unless this call ran the factor builder.
+    let mut setup_hit: Option<bool> = None;
+    let built = sh.cache.get_or_build(&key, || match &sh.mode {
+        BuildMode::Single(builder) => builder(&key),
+        BuildMode::TwoLevel { setups, builder, base } => {
+            let skey = SetupKey::from(&key);
+            let (setup, s_hit) =
+                setups.get_or_build(&skey, || builder(&skey)).map_err(|e| match e {
+                    CacheError::BuildFailed(msg) => ServeError::FactorizationFailed(msg),
+                    CacheError::Poisoned(msg) => ServeError::Quarantined(msg),
+                })?;
+            setup_hit = Some(s_hit);
+            SharedFactor::refactorize(&setup, base.with_lambda(key.lambda()))
+                .map_err(|e| ServeError::FactorizationFailed(e.to_string()))
+        }
+    });
+    let sf = match built {
         Ok((sf, hit)) => {
             if hit {
                 m.cache_hits.fetch_add(1, Ordering::Relaxed);
             } else {
                 m.cache_misses.fetch_add(1, Ordering::Relaxed);
+                match setup_hit {
+                    Some(true) => m.setup_hits.fetch_add(1, Ordering::Relaxed),
+                    // Single-level misses count as full builds too.
+                    Some(false) | None => m.full_misses.fetch_add(1, Ordering::Relaxed),
+                };
             }
             sf
         }

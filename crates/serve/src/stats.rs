@@ -163,6 +163,12 @@ pub(crate) struct Metrics {
     pub errors: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    /// Factor-level misses that found the λ-free setup cached (paid only
+    /// the refactorization).
+    pub setup_hits: AtomicU64,
+    /// Misses at both levels (paid tree + skeletonization + assembly +
+    /// factorization).
+    pub full_misses: AtomicU64,
     pub batches: AtomicU64,
     pub max_queue_depth: AtomicU64,
     pub batch_hist: BatchHist,
@@ -180,6 +186,8 @@ impl Metrics {
         queue_depth: usize,
         cache_entries: usize,
         cache_poisoned: usize,
+        setup_entries: usize,
+        setup_builds: u64,
     ) -> ServeStats {
         let (batch_hist, mean_batch) = self.batch_hist.snapshot();
         ServeStats {
@@ -190,11 +198,15 @@ impl Metrics {
             errors: self.errors.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            setup_hits: self.setup_hits.load(Ordering::Relaxed),
+            full_misses: self.full_misses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             queue_depth,
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             cache_entries,
             cache_poisoned,
+            setup_entries,
+            setup_builds,
             batch_hist,
             mean_batch,
             queue: self.queue_us.snapshot(),
@@ -217,10 +229,18 @@ pub struct ServeStats {
     pub rejected_deadline: u64,
     /// Requests answered with an error (factorization/solve failures).
     pub errors: u64,
-    /// Batch dispatches served from a cached factorization.
+    /// Batch dispatches served from a cached factorization (factor-level
+    /// hits: the λ-specific factors were resident).
     pub cache_hits: u64,
-    /// Batch dispatches that had to build (or wait for) a factorization.
+    /// Batch dispatches that had to build (or wait for) a factorization —
+    /// the sum of [`ServeStats::setup_hits`] and
+    /// [`ServeStats::full_misses`] under the two-level cache.
     pub cache_misses: u64,
+    /// Factor-level misses whose λ-free setup (tree + skeletonization +
+    /// assembled blocks) was cached: only the refactorization ran.
+    pub setup_hits: u64,
+    /// Dispatches that missed both cache levels and paid the full build.
+    pub full_misses: u64,
     /// Solve batches dispatched.
     pub batches: u64,
     /// Queue depth at snapshot time.
@@ -231,6 +251,12 @@ pub struct ServeStats {
     pub cache_entries: usize,
     /// Quarantined (poisoned) factorization keys.
     pub cache_poisoned: usize,
+    /// Ready λ-free setups resident in the setup cache (0 for a
+    /// single-level service).
+    pub setup_entries: usize,
+    /// Setup builders run over the service lifetime (a λ sweep through
+    /// the two-level cache keeps this at 1 per distinct setup).
+    pub setup_builds: u64,
     /// `(batch_size, count)` pairs with nonzero counts.
     pub batch_hist: Vec<(usize, u64)>,
     /// Mean dispatched batch size.
@@ -260,17 +286,20 @@ impl ServeStats {
         let hist: Vec<String> =
             self.batch_hist.iter().map(|(sz, c)| format!("[{sz}, {c}]")).collect();
         format!(
-            "{{\n  \"submitted\": {},\n  \"completed\": {},\n  \"rejected_overload\": {},\n  \"rejected_deadline\": {},\n  \"errors\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_entries\": {},\n  \"cache_poisoned\": {},\n  \"batches\": {},\n  \"mean_batch\": {:.3},\n  \"batch_hist\": [{}],\n  \"queue_depth\": {},\n  \"max_queue_depth\": {},\n  \"queue_us\": {},\n  \"solve_us\": {},\n  \"total_us\": {}\n}}",
+            "{{\n  \"submitted\": {},\n  \"completed\": {},\n  \"rejected_overload\": {},\n  \"rejected_deadline\": {},\n  \"errors\": {},\n  \"factor_hits\": {},\n  \"setup_hits\": {},\n  \"full_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_entries\": {},\n  \"cache_poisoned\": {},\n  \"setup_entries\": {},\n  \"setup_builds\": {},\n  \"batches\": {},\n  \"mean_batch\": {:.3},\n  \"batch_hist\": [{}],\n  \"queue_depth\": {},\n  \"max_queue_depth\": {},\n  \"queue_us\": {},\n  \"solve_us\": {},\n  \"total_us\": {}\n}}",
             self.submitted,
             self.completed,
             self.rejected_overload,
             self.rejected_deadline,
             self.errors,
             self.cache_hits,
-            self.cache_misses,
+            self.setup_hits,
+            self.full_misses,
             self.cache_hit_rate(),
             self.cache_entries,
             self.cache_poisoned,
+            self.setup_entries,
+            self.setup_builds,
             self.batches,
             self.mean_batch,
             hist.join(", "),
@@ -318,10 +347,28 @@ mod tests {
         m.submitted.fetch_add(3, Ordering::Relaxed);
         m.batch_hist.record(2);
         m.queue_us.record(Duration::from_micros(42));
-        let s = m.snapshot(1, 2, 0);
+        let s = m.snapshot(1, 2, 0, 1, 1);
         let j = s.to_json();
         assert!(j.contains("\"submitted\": 3"));
         assert!(j.contains("\"batch_hist\": [[2, 1]]"));
         assert!(j.contains("\"cache_entries\": 2"));
+        assert!(j.contains("\"setup_entries\": 1"));
+        assert!(j.contains("\"setup_builds\": 1"));
+    }
+
+    #[test]
+    fn split_cache_counters_render_and_sum() {
+        let m = Metrics::default();
+        m.cache_hits.fetch_add(5, Ordering::Relaxed);
+        m.setup_hits.fetch_add(3, Ordering::Relaxed);
+        m.full_misses.fetch_add(1, Ordering::Relaxed);
+        m.cache_misses.fetch_add(4, Ordering::Relaxed);
+        let s = m.snapshot(0, 4, 0, 1, 1);
+        assert_eq!(s.setup_hits + s.full_misses, s.cache_misses);
+        assert!((s.cache_hit_rate() - 5.0 / 9.0).abs() < 1e-12);
+        let j = s.to_json();
+        assert!(j.contains("\"factor_hits\": 5"));
+        assert!(j.contains("\"setup_hits\": 3"));
+        assert!(j.contains("\"full_misses\": 1"));
     }
 }

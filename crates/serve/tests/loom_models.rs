@@ -11,7 +11,9 @@
 //! them to exhaustive interleaving enumeration without edits.
 
 use kfds_kernels::Gaussian;
-use kfds_serve::{CacheError, FactorCache, FactorKey, ServeConfig, ServeError, SolveService};
+use kfds_serve::{
+    CacheError, FactorCache, FactorKey, ServeConfig, ServeError, SetupCache, SetupKey, SolveService,
+};
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
 use loom::thread;
@@ -122,6 +124,110 @@ fn lru_capacity_invariant_under_concurrent_inserts() {
             "eviction must keep residency at capacity, found {}",
             cache.ready_len()
         );
+    });
+}
+
+#[test]
+fn two_level_lambda_miss_storm_builds_setup_once() {
+    // The two-level nesting the service dispatches: a factor-cache miss
+    // resolves the λ-free setup through an inner SetupCache before
+    // "refactorizing". Three threads miss simultaneously on *distinct* λ
+    // keys that share one setup key — whatever the interleaving, the
+    // setup builder runs exactly once (neither cache holds its lock while
+    // a builder runs, so the nesting cannot deadlock, and the inner
+    // single-flight coalesces the storm).
+    loom::model(|| {
+        let setups: Arc<SetupCache<u64>> = Arc::new(SetupCache::new(2));
+        let factors: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(4));
+        let setup_builds = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let setups = Arc::clone(&setups);
+                let factors = Arc::clone(&factors);
+                let setup_builds = Arc::clone(&setup_builds);
+                thread::spawn(move || {
+                    let fk = FactorKey::new("storm", 64, 1.0, 0.1 * (i + 1) as f64, 7);
+                    let (v, _hit) = factors
+                        .get_or_build(&fk, || -> Result<u64, String> {
+                            let sk = SetupKey::from(&fk);
+                            let (setup, _) = setups
+                                .get_or_build(&sk, || {
+                                    setup_builds.fetch_add(1, Ordering::SeqCst);
+                                    Ok::<_, String>(1000)
+                                })
+                                .map_err(|e| e.to_string())?;
+                            Ok(setup + i)
+                        })
+                        .expect("two-level build succeeds");
+                    assert_eq!(v, 1000 + i, "each λ gets its own factorization");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("requester");
+        }
+        assert_eq!(setup_builds.load(Ordering::SeqCst), 1, "one setup build under the storm");
+        assert_eq!(setups.builds(), 1);
+        assert_eq!(factors.builds(), 3, "distinct λ keys never coalesce at the factor level");
+        assert_eq!(setups.ready_len(), 1);
+    });
+}
+
+#[test]
+fn two_level_factor_failure_poisons_only_the_lambda_key() {
+    // One λ's refactorization fails while a sibling λ succeeds, in either
+    // order: the factor-level quarantine must never leak into the setup
+    // cache — the setup entry stays ready and keeps serving new λ keys.
+    loom::model(|| {
+        let setups: Arc<SetupCache<u64>> = Arc::new(SetupCache::new(2));
+        let factors: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(4));
+        let refactor = |factors: &FactorCache<u64>,
+                        setups: &SetupCache<u64>,
+                        lambda: f64,
+                        fail: bool|
+         -> Result<(u64, bool), CacheError> {
+            let fk = FactorKey::new("quarantine", 64, 1.0, lambda, 7);
+            factors.get_or_build(&fk, || -> Result<u64, String> {
+                let sk = SetupKey::from(&fk);
+                let (setup, _) = setups
+                    .get_or_build(&sk, || Ok::<_, String>(1000))
+                    .map_err(|e| e.to_string())?;
+                if fail {
+                    return Err("indefinite shift".into());
+                }
+                Ok(setup)
+            })
+        };
+        let bad = {
+            let setups = Arc::clone(&setups);
+            let factors = Arc::clone(&factors);
+            thread::spawn(move || {
+                assert!(
+                    matches!(
+                        refactor(&factors, &setups, -1e3, true),
+                        Err(CacheError::BuildFailed(_))
+                    ),
+                    "the failing λ must report its build failure"
+                );
+            })
+        };
+        let good = {
+            let setups = Arc::clone(&setups);
+            let factors = Arc::clone(&factors);
+            thread::spawn(move || {
+                let (v, _) = refactor(&factors, &setups, 0.5, false).expect("sibling λ serves");
+                assert_eq!(v, 1000);
+            })
+        };
+        bad.join().expect("bad λ");
+        good.join().expect("good λ");
+        assert_eq!(factors.poisoned_len(), 1, "only the failing λ key is quarantined");
+        assert_eq!(setups.poisoned_len(), 0, "the setup cache must stay clean");
+        assert_eq!(setups.ready_len(), 1, "the setup entry must survive");
+        // A third λ on the same setup still serves, with no setup rebuild.
+        let (v, _) = refactor(&factors, &setups, 2.0, false).expect("late λ serves");
+        assert_eq!(v, 1000);
+        assert_eq!(setups.builds(), 1, "the setup must never rebuild");
     });
 }
 

@@ -4,9 +4,9 @@
 //! requests must honor their deadlines.
 
 use kfds_askit::{skeletonize, SkelConfig};
-use kfds_core::{SharedFactor, SolverConfig, StorageMode};
+use kfds_core::{LeafFactorization, SharedFactor, SharedSetup, SolverConfig, StorageMode};
 use kfds_kernels::Gaussian;
-use kfds_serve::{FactorKey, ServeConfig, ServeError, SolveService};
+use kfds_serve::{FactorKey, ServeConfig, ServeError, SetupKey, SolveService};
 use kfds_tree::datasets::normal_embedded;
 use kfds_tree::BallTree;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -181,6 +181,107 @@ fn queued_request_past_deadline_is_expired_not_solved() {
     let stats = svc.shutdown();
     assert_eq!(stats.rejected_deadline, 1);
     assert_eq!(stats.completed, 1);
+}
+
+fn build_setup(key: &SetupKey) -> Result<SharedSetup<Gaussian>, ServeError> {
+    let pts = normal_embedded(key.n, 3, 8, 0.05, key.seed);
+    let kernel = Gaussian::new(key.h());
+    let tree = BallTree::build(&pts, 64);
+    let st = skeletonize(
+        tree,
+        &kernel,
+        SkelConfig::default().with_tol(1e-5).with_max_rank(48).with_neighbors(8).with_max_level(1),
+    );
+    Ok(SharedSetup::build(Arc::new(st), Arc::new(kernel)))
+}
+
+#[test]
+fn lambda_sweep_through_two_level_cache_builds_setup_once() {
+    let n = 512;
+    let setup_builds = Arc::new(AtomicUsize::new(0));
+    let sb = Arc::clone(&setup_builds);
+    let svc = SolveService::start_two_level(
+        ServeConfig::default().with_workers(2).with_cache_capacity(8),
+        SolverConfig::default().with_storage(StorageMode::StoredGemv),
+        move |key: &SetupKey| {
+            sb.fetch_add(1, Ordering::SeqCst);
+            build_setup(key)
+        },
+    );
+
+    // An 8-λ sweep over one (dataset, n, h, seed): every key after the
+    // first must reuse the cached setup and pay only refactorization.
+    let lambdas = [1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.0, 10.0];
+    let keys: Vec<FactorKey> =
+        lambdas.iter().map(|&l| FactorKey::new("t-sweep", n, 1.0, l, 21)).collect();
+    for (r, key) in keys.iter().enumerate() {
+        let got = svc.submit(key.clone(), rhs(n, r)).expect("submit").wait().expect("solve");
+        // Bitwise against the legacy single-level build for this key,
+        // through the same blocked solve path the service dispatches: the
+        // two-level service must not change a single answered byte.
+        let sf = build_factor(key).expect("reference factor");
+        let tree_perm = sf.skeleton_tree().tree();
+        let mut b = kfds_la::Mat::zeros(n, 1);
+        b.col_mut(0).copy_from_slice(&tree_perm.permute_vec(&rhs(n, r)));
+        sf.solve_block_in_place(&mut b, &kfds_krylov::GmresOptions::default())
+            .expect("direct solve");
+        let want = tree_perm.unpermute_vec(b.col(0));
+        assert_eq!(got, want, "λ={} must match the single-level answer bitwise", key.lambda());
+    }
+
+    let stats = svc.shutdown();
+    assert_eq!(setup_builds.load(Ordering::SeqCst), 1, "one setup build for the whole λ sweep");
+    assert_eq!(stats.setup_builds, 1);
+    assert_eq!(stats.full_misses, 1, "only the first λ pays the full build");
+    assert_eq!(stats.setup_hits, lambdas.len() as u64 - 1);
+    assert_eq!(stats.setup_hits + stats.full_misses, stats.cache_misses);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn factor_quarantine_does_not_poison_setup() {
+    let n = 256;
+    let setup_builds = Arc::new(AtomicUsize::new(0));
+    let sb = Arc::clone(&setup_builds);
+    // Cholesky leaves reject the indefinite λ = -1e3 shift, so that one λ
+    // fails to refactorize while its siblings succeed.
+    let svc = SolveService::start_two_level(
+        ServeConfig::default().with_workers(2),
+        SolverConfig::default()
+            .with_storage(StorageMode::StoredGemv)
+            .with_leaf(LeafFactorization::Cholesky),
+        move |key: &SetupKey| {
+            sb.fetch_add(1, Ordering::SeqCst);
+            build_setup(key)
+        },
+    );
+
+    let good = FactorKey::new("t-poison", n, 1.0, 0.5, 23);
+    let bad = FactorKey::new("t-poison", n, 1.0, -1e3, 23);
+
+    let x = svc.submit(good.clone(), rhs(n, 0)).expect("submit").wait().expect("good λ solves");
+    assert!(x.iter().all(|v| v.is_finite()));
+
+    let t = svc.submit(bad.clone(), rhs(n, 1)).expect("submit bad λ");
+    assert!(
+        matches!(t.wait(), Err(ServeError::FactorizationFailed(_))),
+        "indefinite λ must fail its refactorization"
+    );
+    // The λ key is quarantined; a retry fast-fails without a rebuild.
+    let t = svc.submit(bad, rhs(n, 2)).expect("resubmit bad λ");
+    assert!(matches!(t.wait(), Err(ServeError::Quarantined(_))));
+
+    // The setup entry survived the factor-level failure: a *third* λ on
+    // the same setup still serves without a new setup build.
+    let another = FactorKey::new("t-poison", n, 1.0, 1.5, 23);
+    let x = svc.submit(another, rhs(n, 3)).expect("submit").wait().expect("sibling λ still serves");
+    assert!(x.iter().all(|v| v.is_finite()));
+
+    let stats = svc.shutdown();
+    assert_eq!(setup_builds.load(Ordering::SeqCst), 1, "setup must never rebuild");
+    assert_eq!(stats.cache_poisoned, 1, "only the failing λ key is quarantined");
+    assert_eq!(stats.setup_entries, 1, "the setup entry must survive");
+    assert_eq!(stats.completed, 2);
 }
 
 #[test]

@@ -107,6 +107,18 @@ pub const KFDS_KNN: Switch = Switch {
           GEMM-tile dual-tree / bucket scoring pipeline, for A/B runs",
 };
 
+/// `KFDS_REFACTOR`: kill-switch for λ-sweep refactorization.
+pub const KFDS_REFACTOR: Switch = Switch {
+    name: "KFDS_REFACTOR",
+    default: "on",
+    off_values: &["off", "0"],
+    doc: "disables λ-sweep refactorization: `lambda_sweep`, the GP noise-grid \
+          fit, and the serve tier's factor stage rebuild every factorization \
+          from scratch per λ (re-evaluating all kernel blocks, the legacy \
+          path) instead of refactoring over cached λ-independent \
+          `AssembledBlocks`",
+};
+
 /// `KFDS_SERVE_BATCH`: kill-switch for multi-RHS request coalescing.
 pub const KFDS_SERVE_BATCH: Switch = Switch {
     name: "KFDS_SERVE_BATCH",
@@ -120,8 +132,15 @@ pub const KFDS_SERVE_BATCH: Switch = Switch {
 /// Every registered switch, in README table order. New switches must be
 /// added here (and nowhere else) — the lint and the README generator both
 /// iterate this array.
-pub const ALL: &[&Switch] =
-    &[&KFDS_SIMD, &KFDS_WS_POOL, &KFDS_CPQR, &KFDS_EVAL_GEMM, &KFDS_KNN, &KFDS_SERVE_BATCH];
+pub const ALL: &[&Switch] = &[
+    &KFDS_SIMD,
+    &KFDS_WS_POOL,
+    &KFDS_CPQR,
+    &KFDS_EVAL_GEMM,
+    &KFDS_KNN,
+    &KFDS_REFACTOR,
+    &KFDS_SERVE_BATCH,
+];
 
 /// Renders the README runtime-switch table (markdown). The table between
 /// the `<!-- switch-table:begin -->` / `<!-- switch-table:end -->` markers
