@@ -69,48 +69,60 @@ if [[ $miri -eq 1 ]]; then
 fi
 
 if [[ $tsan -eq 1 ]]; then
-  echo "== tsan lane (kfds-rt + kfds-serve under ThreadSanitizer) =="
-  # Race-checks the channel runtime and the serve queue/cache/shutdown
-  # paths; the loom stress tests give the detector real interleavings to
-  # observe. Needs -Zbuild-std, hence nightly + the rust-src component.
+  echo "== tsan lane (kfds-rt + kfds-shard + kfds-serve under ThreadSanitizer) =="
+  # Race-checks the channel runtime, the shard router's scatter/gather
+  # data plane, and the serve queue/cache/shutdown paths; the loom stress
+  # tests give the detector real interleavings to observe. Needs
+  # -Zbuild-std, hence nightly + the rust-src component.
   if nightly_has rust-src; then
     RUSTFLAGS="-Zsanitizer=thread" \
       cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
-      -p kfds-rt -p kfds-serve
+      -p kfds-rt -p kfds-shard -p kfds-serve
   else
     echo "WARNING: skipping TSan lane — 'rust-src' component not installed on the"
     echo "         nightly toolchain (rustup component add --toolchain nightly rust-src)."
   fi
 fi
 
-echo "== dispatch checks (simd, cpqr, gemm eval, knn, refactor) =="
+echo "== dispatch checks (simd, cpqr, gemm eval, knn, refactor, scaling) =="
 # Fails if this host supports AVX2+FMA but the vector kernels silently
 # fell back to scalar, or if the blocked CPQR / GEMM eval / GEMM-tile kNN
 # paths silently deactivated (dispatch or build regression). The knn and
 # refactor gates run separately so a neighbor-search or λ-sweep
 # refactorization regression is named in the output; the refactor gate
-# also verifies KFDS_REFACTOR=off reproduces the legacy per-λ path.
+# also verifies KFDS_REFACTOR=off reproduces the legacy per-λ path. The
+# scaling gate arms only on hosts with >= 2 physical cores (it reports
+# not-armed and passes elsewhere) and then requires multi-thread
+# setup+factorize to beat single-thread wall-clock.
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check knn
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check refactor
   KFDS_REFACTOR=off cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check refactor
+  cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check scaling
 else
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check knn
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check refactor
   KFDS_REFACTOR=off cargo run -q -p kfds-bench --bin perf_trajectory -- --check refactor
+  cargo run -q -p kfds-bench --bin perf_trajectory -- --check scaling
 fi
 
-echo "== kfds-serve smoke =="
+echo "== kfds-serve smoke (single-node, then sharded) =="
 # Stands up the batched solve service under closed-loop load and asserts a
 # clean run: zero errors, every request answered, cache hit rate > 0, and
 # exactly one λ-free setup build across the λ-only key spread (the
-# two-level cache contract).
+# two-level cache contract). The --shards 2 lane routes every batch
+# through the shard tier and additionally asserts the routed answer is
+# bitwise-identical to the unsharded blocked solve plus per-shard cache
+# counters (one local partition fill per shard per key, zero errors, zero
+# fallbacks).
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --n 1024 --keys 2 --clients 8 --requests 64
+  cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --shards 2 --n 1024 --keys 2 --clients 8 --requests 64
 else
   cargo run -q -p kfds-serve --bin kfds-serve -- --smoke --n 512 --keys 2 --clients 4 --requests 32
+  cargo run -q -p kfds-serve --bin kfds-serve -- --smoke --shards 2 --n 512 --keys 2 --clients 4 --requests 32
 fi
 
 echo "CI OK"

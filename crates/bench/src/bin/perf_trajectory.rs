@@ -17,9 +17,10 @@
 //! this PR's setup rebuild. The kNN stage is measured under both `KFDS_KNN`
 //! states per thread count (`t_knn_s` = blocked GEMM-tile search,
 //! `t_knn_scalar_s` = legacy scalar search), giving the `knn_speedup`
-//! summary lines. Rows with more threads than the host's *physical* cores
-//! carry `"wallclock_valid": false` — those numbers exercise the parallel
-//! code paths under time-slicing and must not be read as wall-clock wins.
+//! summary lines. Thread counts above the host's *physical* core count
+//! are **skipped** (and listed in the JSON's `skipped_rows`): timing them
+//! would only measure time-slicing, so the committed trail carries no row
+//! whose wall-clock is not a real parallel measurement.
 //!
 //! ```sh
 //! cargo run --release -p kfds-bench --bin perf_trajectory [-- --scale 2]
@@ -28,8 +29,10 @@
 //! # dispatch sanity only: exits 1 if this host supports AVX2+FMA but the
 //! # vector kernels are inactive, or if the blocked CPQR / GEMM assembly /
 //! # GEMM-tile kNN paths silently fell back, without the matching KFDS_*
-//! # opt-out. An optional gate name (simd | cpqr | eval | knn) runs one
-//! # gate alone.
+//! # opt-out. An optional gate name (simd | cpqr | eval | knn | refactor |
+//! # scaling) runs one gate alone. The `scaling` gate arms only on hosts
+//! # with >= 2 physical cores and then requires a multi-thread
+//! # setup+factorize to beat single-thread wall-clock.
 //! ```
 
 use kfds_askit::{compute_neighbors, skeletonize_with_neighbors};
@@ -82,9 +85,6 @@ struct Run {
     pool_hits: u64,
     pool_misses: u64,
     peak_rss_kb: u64,
-    /// `false` when `threads` exceeds the host's physical cores: the row
-    /// ran time-sliced and its wall-clock is not a parallel speedup claim.
-    wallclock_valid: bool,
 }
 
 /// Measured repetitions per configuration; the committed numbers are the
@@ -112,18 +112,32 @@ fn main() {
     let workloads = build_workloads(scale);
     let threads_list = [1usize, 4];
     let phys_cores = physical_cores();
+    // Oversubscribed thread counts are skipped, not timed: a row whose
+    // threads exceed the physical cores would only measure time-slicing.
+    let run_threads: Vec<usize> =
+        threads_list.iter().copied().filter(|&t| t <= phys_cores).collect();
+    let skipped_threads: Vec<usize> =
+        threads_list.iter().copied().filter(|&t| t > phys_cores).collect();
     // (pool, simd, cpqr): pool-off baseline, scalar reference, pre-BLAS-3
     // setup baseline, and the full fast path.
     let configs =
         [(false, true, true), (true, false, true), (true, true, false), (true, true, true)];
     let mut runs: Vec<Run> = Vec::new();
+    let mut skipped: Vec<(String, usize)> = Vec::new();
 
     for wl in &workloads {
         let n = wl.points.len();
         eprintln!("== workload {} (N = {n}) ==", wl.label);
+        for &t in &skipped_threads {
+            eprintln!(
+                "  threads={t}: SKIPPED (host has {phys_cores} physical core(s); \
+                 timing would measure time-slicing, not parallel speedup)"
+            );
+            skipped.push((wl.label.clone(), t));
+        }
         let skel_cfg = harness_skel_config(wl.points.dim(), wl.tau, wl.max_rank, 1);
         let cfg = SolverConfig::default().with_lambda(wl.lambda);
-        for &threads in &threads_list {
+        for &threads in &run_threads {
             let pool_handle =
                 rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
             // Tree build is invariant under the grid switches; kNN is the
@@ -249,7 +263,6 @@ fn main() {
                     pool_hits: (h1 - h0) / REPS as u64,
                     pool_misses: (m1 - m0) / REPS as u64,
                     peak_rss_kb: peak_rss_kb(),
-                    wallclock_valid: threads <= phys_cores,
                 });
                 let r = runs.last().expect("just pushed");
                 eprintln!(
@@ -270,15 +283,15 @@ fn main() {
     }
     apply_grid(true, true, true);
 
-    let json = render_json(&runs, scale);
+    let json = render_json(&runs, &skipped, scale);
     std::fs::write("BENCH_factor.json", &json).expect("write BENCH_factor.json");
-    eprintln!("wrote BENCH_factor.json ({} runs)", runs.len());
+    eprintln!("wrote BENCH_factor.json ({} runs, {} rows skipped)", runs.len(), skipped.len());
 }
 
 /// `--check [gate]`: verifies that every runtime-dispatched fast path is
 /// in the state the host and environment imply. Returns the process exit
-/// code. With a gate name (`simd` | `cpqr` | `eval` | `knn` | `refactor`)
-/// only that gate runs.
+/// code. With a gate name (`simd` | `cpqr` | `eval` | `knn` | `refactor`
+/// | `scaling`) only that gate runs.
 ///
 /// * AVX2+FMA host, vector kernels active — OK.
 /// * `KFDS_SIMD=off`/`0` set — scalar mode was requested, OK.
@@ -292,8 +305,11 @@ fn main() {
 ///   distance tiles — **failure**: kNN silently fell back to scalar.
 fn dispatch_check(gate: Option<&str>) -> i32 {
     if let Some(g) = gate {
-        if !["simd", "cpqr", "eval", "knn", "refactor"].contains(&g) {
-            eprintln!("unknown dispatch gate {g:?} (expected simd | cpqr | eval | knn | refactor)");
+        if !["simd", "cpqr", "eval", "knn", "refactor", "scaling"].contains(&g) {
+            eprintln!(
+                "unknown dispatch gate {g:?} (expected simd | cpqr | eval | knn | refactor | \
+                 scaling)"
+            );
             return 2;
         }
     }
@@ -373,6 +389,65 @@ fn dispatch_check(gate: Option<&str>) -> i32 {
                 return 1;
             }
             eprintln!("knn check: blocked GEMM-tile neighbor search active");
+        }
+    }
+
+    // Strong-scaling gate (ROADMAP item 6): explicitly named only — it is
+    // a timing measurement, not a dispatch probe, so the bare `--check`
+    // stays fast. It arms only on hosts with >= 2 physical cores; on
+    // narrower hosts (where the trajectory run skips multi-thread rows)
+    // it reports not-armed and passes. When armed, a multi-thread
+    // setup+factorize must beat single-thread wall-clock.
+    if gate == Some("scaling") {
+        let phys = physical_cores();
+        if phys < 2 {
+            eprintln!(
+                "scaling check: not armed — host exposes {phys} physical core(s); strong-scaling \
+                 wall-clock is only meaningful on >= 2 (multi-thread trajectory rows are skipped \
+                 on this host for the same reason)"
+            );
+        } else {
+            let threads = phys.min(4);
+            let pts = normal_embedded(8192, 6, 64, 0.1, 17);
+            let kernel = Gaussian::new(4.0);
+            let skel_cfg = harness_skel_config(pts.dim(), 0.0, 64, 1);
+            let cfg = SolverConfig::default().with_lambda(1.0);
+            let time_at = |nthreads: usize| -> f64 {
+                let pool =
+                    rayon::ThreadPoolBuilder::new().num_threads(nthreads).build().expect("pool");
+                let nn = pool.install(|| {
+                    let tree = BallTree::build(&pts, 128);
+                    compute_neighbors(&tree, &skel_cfg)
+                });
+                let mut best = f64::INFINITY;
+                for _ in 0..REPS {
+                    let (_, t) = pool.install(|| {
+                        timed(|| {
+                            let tree = BallTree::build(&pts, 128);
+                            let st =
+                                skeletonize_with_neighbors(tree, &kernel, skel_cfg.clone(), &nn);
+                            factorize(&st, &kernel, cfg).expect("factorize");
+                        })
+                    });
+                    best = best.min(t);
+                }
+                best
+            };
+            let t1 = time_at(1);
+            let tp = time_at(threads);
+            let speedup = t1 / tp;
+            if speedup < 1.2 {
+                eprintln!(
+                    "scaling check FAILED: {threads}-thread setup+factorize is only \
+                     {speedup:.2}x single-thread ({tp:.3}s vs {t1:.3}s) on a {phys}-core host — \
+                     the parallel paths are not delivering wall-clock speedup"
+                );
+                return 1;
+            }
+            eprintln!(
+                "scaling check: {threads}-thread setup+factorize {speedup:.2}x over \
+                 single-thread ({t1:.3}s -> {tp:.3}s) on {phys} physical cores"
+            );
         }
     }
 
@@ -520,11 +595,11 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn render_json(runs: &[Run], scale: f64) -> String {
+fn render_json(runs: &[Run], skipped: &[(String, usize)], scale: f64) -> String {
     let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kfds-perf-trajectory-v6\",\n");
+    s.push_str("  \"schema\": \"kfds-perf-trajectory-v7\",\n");
     s.push_str(
         "  \"generated_by\": \"cargo run --release -p kfds-bench --bin perf_trajectory\",\n",
     );
@@ -533,18 +608,26 @@ fn render_json(runs: &[Run], scale: f64) -> String {
     s.push_str(&format!("  \"host_physical_cores\": {},\n", physical_cores()));
     s.push_str(&format!("  \"host_simd\": \"{}\",\n", simd::detected_features()));
     s.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
-    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s is invariant under the grid switches and is measured once per thread count (shared across that thread count's rows); kNN is measured A/B per thread count — t_knn_s is the blocked GEMM-tile search (KFDS_KNN default) and t_knn_scalar_s the legacy scalar search, so knn_speedup = t_knn_scalar_s / t_knn_s. Rows with threads > host_physical_cores carry wallclock_valid=false: they exercise the parallel code paths under time-slicing and their absolute wall-clock times must not be read as parallel speedup. batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves. The λ-sweep refactorization triplet is measured on the full-fast rows only (0.0 elsewhere): t_assemble_s is the one-time λ-independent kernel block assembly, t_factor_stored_s a fresh StoredGemv factorization (the fair per-λ baseline), and t_refactor_s the λ-only refactorization over the pre-assembled blocks. refactor_speedup = t_factor_stored_s / t_refactor_s is the steady-state per-λ win; lambda_sweep_amortization = (8 * t_factor_stored_s) / (t_assemble_s + 8 * t_refactor_s) is the end-to-end win of an 8-λ cross-validation sweep including the assembly it amortizes.\",\n");
+    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s is invariant under the grid switches and is measured once per thread count (shared across that thread count's rows); kNN is measured A/B per thread count — t_knn_s is the blocked GEMM-tile search (KFDS_KNN default) and t_knn_scalar_s the legacy scalar search, so knn_speedup = t_knn_scalar_s / t_knn_s. Thread counts above host_physical_cores are skipped entirely and listed in skipped_rows: timing them would measure time-slicing, not parallel speedup (run `--check scaling` on a multi-core host for the armed strong-scaling gate). batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves. The λ-sweep refactorization triplet is measured on the full-fast rows only (0.0 elsewhere): t_assemble_s is the one-time λ-independent kernel block assembly, t_factor_stored_s a fresh StoredGemv factorization (the fair per-λ baseline), and t_refactor_s the λ-only refactorization over the pre-assembled blocks. refactor_speedup = t_factor_stored_s / t_refactor_s is the steady-state per-λ win; lambda_sweep_amortization = (8 * t_factor_stored_s) / (t_assemble_s + 8 * t_refactor_s) is the end-to-end win of an 8-λ cross-validation sweep including the assembly it amortizes.\",\n");
+    s.push_str("  \"skipped_rows\": [\n");
+    for (i, (label, threads)) in skipped.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"label\": \"{label}\", \"threads\": {threads}, \"reason\": \
+             \"host_physical_cores < threads (would time-slice)\"}}{}\n",
+            if i + 1 < skipped.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"wallclock_valid\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_knn_scalar_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_assemble_s\": {:.6}, \"t_factor_stored_s\": {:.6}, \"t_refactor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_knn_scalar_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_assemble_s\": {:.6}, \"t_factor_stored_s\": {:.6}, \"t_refactor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
             r.label,
             r.n,
             r.threads,
             r.pool,
             r.simd,
             r.cpqr,
-            r.wallclock_valid,
             r.t_tree_s,
             r.t_knn_s,
             r.t_knn_scalar_s,

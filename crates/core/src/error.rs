@@ -23,6 +23,13 @@ pub enum SolverError {
     /// The hybrid solver requires every leaf to lie inside the
     /// skeletonization frontier.
     FrontierIncomplete,
+    /// The factorization cannot be partitioned into rank-owned subtree
+    /// shards (wrong shard count for the tree shape, incomplete
+    /// factorization, or a non-contiguous cut).
+    Partition {
+        /// Human-readable validation failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -36,6 +43,9 @@ impl fmt::Display for SolverError {
             }
             SolverError::FrontierIncomplete => {
                 write!(f, "skeletonization frontier does not cover all leaves")
+            }
+            SolverError::Partition { reason } => {
+                write!(f, "factorization cannot be partitioned: {reason}")
             }
         }
     }

@@ -32,6 +32,7 @@ pub mod factor;
 pub mod gp;
 pub mod hybrid;
 pub mod leveldirect;
+pub mod partition;
 pub mod precond;
 pub mod regression;
 pub mod share;
@@ -54,6 +55,7 @@ pub use factor::{factorize, factorize_with_blocks, FactorTree, LeafFactor, NodeF
 pub use gp::{GaussianProcess, NoiseSweepEntry};
 pub use hybrid::{HybridOutcome, HybridSolver};
 pub use leveldirect::LevelRestrictedDirect;
+pub use partition::PartitionedFactor;
 pub use precond::{solve_exact_preconditioned, FactorPreconditioner};
 pub use regression::{KernelRidge, TrainReport};
 pub use share::{SharedFactor, SharedSetup};

@@ -292,15 +292,49 @@ impl<K: Kernel> SolveCtx<'_, K> {
         };
         let nl = tree.node(l).len();
         let nr = tree.node(r).len();
-        let skl = self.st.skeleton(l).expect("children skeletons required");
-        let skr = self.st.skeleton(r).expect("children skeletons required");
-        let (sl, sr) = (skl.rank(), skr.rank());
 
         // D^{-1} on both halves; row-halves of a column-major matrix are
         // strided, so work on owned (pooled) copies.
         let mut utop = workspace::mat_from_view(u.submatrix(0..nl, 0..nrhs));
         let mut ubot = workspace::mat_from_view(u.submatrix(nl..nl + nr, 0..nrhs));
         rayon::join(|| self.solve_node_mat(l, &mut utop), || self.solve_node_mat(r, &mut ubot));
+        self.smw_correct_mat(node, l, r, &mut utop, &mut ubot);
+        for j in 0..nrhs {
+            u.col_mut(j)[..nl].copy_from_slice(utop.col(j));
+            u.col_mut(j)[nl..].copy_from_slice(ubot.col(j));
+        }
+        workspace::recycle_mat(utop);
+        workspace::recycle_mat(ubot);
+    }
+
+    /// The SMW correction step of [`solve_node_mat`](Self::solve_node_mat)
+    /// at internal node `node` with children `l`, `r`: given the two
+    /// child-solved halves `utop = D_l^{-1} u_l`, `ubot = D_r^{-1} u_r`,
+    /// subtracts the low-rank coupling correction in place.
+    ///
+    /// Factored out so the sharded solve's shared top tree
+    /// ([`crate::partition::PartitionedFactor`]) can run the exact same
+    /// per-node arithmetic over gathered shard blocks — the operation
+    /// sequence is identical to the recursive path, which is what keeps
+    /// the sharded answer bitwise-equal to the single-node one.
+    pub(crate) fn smw_correct_mat(
+        &self,
+        node: usize,
+        l: usize,
+        r: usize,
+        utop: &mut Mat,
+        ubot: &mut Mat,
+    ) {
+        let tree = self.st.tree();
+        let nrhs = utop.ncols();
+        debug_assert_eq!(nrhs, ubot.ncols());
+        let nl = utop.nrows();
+        let nr = ubot.nrows();
+        debug_assert_eq!(nl, tree.node(l).len());
+        debug_assert_eq!(nr, tree.node(r).len());
+        let skl = self.st.skeleton(l).expect("children skeletons required");
+        let skr = self.st.skeleton(r).expect("children skeletons required");
+        let (sl, sr) = (skl.rank(), skr.rank());
 
         if sl + sr > 0 {
             let z_lu = self.factors[node].z_lu.as_ref().expect("reduced system missing");
@@ -388,11 +422,5 @@ impl<K: Kernel> SolveCtx<'_, K> {
             workspace::recycle_mat(corr_top);
             workspace::recycle_mat(corr_bot);
         }
-        for j in 0..nrhs {
-            u.col_mut(j)[..nl].copy_from_slice(utop.col(j));
-            u.col_mut(j)[nl..].copy_from_slice(ubot.col(j));
-        }
-        workspace::recycle_mat(utop);
-        workspace::recycle_mat(ubot);
     }
 }

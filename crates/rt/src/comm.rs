@@ -47,6 +47,30 @@ impl World {
         T: Send,
         F: Fn(Comm) -> T + Sync,
     {
+        let comms = Self::endpoints(p);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for comm in comms {
+                let fref = &f;
+                handles.push(scope.spawn(move || fref(comm)));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+
+    /// Builds a fresh `p`-rank world and returns its `p` connected
+    /// communicator endpoints (endpoint `i` is rank `i`), without
+    /// spawning any threads.
+    ///
+    /// [`World::run`] owns its ranks' lifetimes; `endpoints` is for
+    /// long-lived services (e.g. the sharded serve tier) that park each
+    /// endpoint on a worker thread of their own and keep the world alive
+    /// across many requests. Endpoints are plain `Clone + Send` values
+    /// wired to the same in-process channel fabric `run` uses.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn endpoints(p: usize) -> Vec<Comm> {
         assert!(p > 0, "need at least one rank");
         let mut senders = Vec::with_capacity(p);
         let mut mailboxes = Vec::with_capacity(p);
@@ -57,21 +81,49 @@ impl World {
         }
         let state = Arc::new(WorldState { senders, mailboxes, next_comm_id: AtomicU64::new(1) });
         let members: Arc<Vec<usize>> = Arc::new((0..p).collect());
+        (0..p)
+            .map(|rank| Comm {
+                comm_id: 0,
+                rank,
+                members: Arc::clone(&members),
+                world: Arc::clone(&state),
+            })
+            .collect()
+    }
+}
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for rank in 0..p {
-                let comm = Comm {
-                    comm_id: 0,
-                    rank,
-                    members: Arc::clone(&members),
-                    world: Arc::clone(&state),
-                };
-                let fref = &f;
-                handles.push(scope.spawn(move || fref(comm)));
-            }
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
-        })
+/// Minimal point-to-point block transport: what the sharded serve tier's
+/// data plane needs from a communication fabric, and nothing more.
+///
+/// [`Comm`] implements it over the in-process channel world; a wire
+/// backend (sockets, real MPI) only has to provide these four methods to
+/// slot in under `PartitionedFactor`'s scatter/gather.
+pub trait Transport: Send + Sync {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the fabric.
+    fn size(&self) -> usize;
+    /// Sends a block of `f64`s to `dst` under `tag`.
+    fn send_block(&self, dst: usize, tag: u32, data: &[f64]);
+    /// Receives the block sent by `src` under `tag`.
+    fn recv_block(&self, src: usize, tag: u32) -> Vec<f64>;
+}
+
+impl Transport for Comm {
+    fn rank(&self) -> usize {
+        Comm::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        Comm::size(self)
+    }
+
+    fn send_block(&self, dst: usize, tag: u32, data: &[f64]) {
+        self.send_f64(dst, tag, data);
+    }
+
+    fn recv_block(&self, src: usize, tag: u32) -> Vec<f64> {
+        self.recv_f64(src, tag)
     }
 }
 
@@ -138,11 +190,17 @@ impl Comm {
     /// Panics if `tag` is in the reserved collective range.
     pub fn send_f64(&self, dst: usize, tag: u32, data: &[f64]) {
         assert!(tag < COLLECTIVE_TAG, "tag in reserved range");
+        if cfg!(debug_assertions) {
+            crate::tags::assert_registered(tag);
+        }
         self.send_payload(dst, tag, Payload::F64(data.to_vec()));
     }
 
     /// Receives a vector of `f64` from `src` (local rank) with `tag`.
     pub fn recv_f64(&self, src: usize, tag: u32) -> Vec<f64> {
+        if cfg!(debug_assertions) {
+            crate::tags::assert_registered(tag);
+        }
         match self.recv_payload(src, tag) {
             Payload::F64(v) => v,
             other => panic!("type mismatch for tag {tag}: expected f64, got {other:?}"),
@@ -152,11 +210,17 @@ impl Comm {
     /// Sends a vector of `usize` to `dst` (local rank) with `tag`.
     pub fn send_usize(&self, dst: usize, tag: u32, data: &[usize]) {
         assert!(tag < COLLECTIVE_TAG, "tag in reserved range");
+        if cfg!(debug_assertions) {
+            crate::tags::assert_registered(tag);
+        }
         self.send_payload(dst, tag, Payload::Usize(data.to_vec()));
     }
 
     /// Receives a vector of `usize` from `src` (local rank) with `tag`.
     pub fn recv_usize(&self, src: usize, tag: u32) -> Vec<usize> {
+        if cfg!(debug_assertions) {
+            crate::tags::assert_registered(tag);
+        }
         match self.recv_payload(src, tag) {
             Payload::Usize(v) => v,
             other => panic!("type mismatch for tag {tag}: expected usize, got {other:?}"),

@@ -16,8 +16,9 @@
 //!   communicator.
 
 mod comm;
+pub mod tags;
 
-pub use comm::{Comm, World};
+pub use comm::{Comm, Transport, World};
 
 #[cfg(test)]
 mod tests {
@@ -139,6 +140,40 @@ mod tests {
             // After the barrier every rank must observe all increments.
             assert_eq!(COUNT.load(Ordering::SeqCst), 4);
         });
+    }
+
+    #[test]
+    fn endpoints_wire_the_same_fabric_as_run() {
+        let eps = World::endpoints(3);
+        assert_eq!(eps.len(), 3);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|c| {
+                std::thread::spawn(move || {
+                    // Ring pass through the Transport trait surface.
+                    let (me, p) = (Transport::rank(&c), Transport::size(&c));
+                    if me == 0 {
+                        c.send_block(1, tags::TEST.tag(9), &[1.0]);
+                        let v = c.recv_block(p - 1, tags::TEST.tag(9));
+                        assert_eq!(v, vec![p as f64]);
+                    } else {
+                        let v = c.recv_block(me - 1, tags::TEST.tag(9));
+                        c.send_block((me + 1) % p, tags::TEST.tag(9), &[v[0] + 1.0]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("endpoint thread");
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not in any registered TagSpace")]
+    fn unregistered_point_to_point_tag_fails_loudly() {
+        let eps = World::endpoints(1);
+        eps[0].send_f64(0, 4096, &[1.0]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ```text
 //! kfds-serve [--n N] [--keys K] [--clients C] [--requests R]
 //!            [--max-batch B] [--workers W] [--high-water H]
-//!            [--timeout-ms T] [--smoke]
+//!            [--timeout-ms T] [--shards P] [--smoke]
 //! ```
 //!
 //! The `K` factorization keys share one dataset/bandwidth/seed and vary
@@ -13,10 +13,15 @@
 //! the two-level cache: exactly one λ-free setup build (tree + kNN +
 //! skeletonization + kernel-block assembly), with every λ paying only the
 //! refactorization, plus the batcher (C concurrent clients submitting
-//! against few keys coalesce into blocked solves). `--smoke` shrinks the
+//! against few keys coalesce into blocked solves). `--shards P` serves
+//! through the shard tier: every complete-factorization batch is
+//! partitioned across `P` rank-owned subtree shards and scatter/gathered
+//! over the in-process transport — bitwise-identical answers, with one
+//! counter lane per shard in the stats JSON. `--smoke` shrinks the
 //! problem and asserts a clean run — zero errors, every request answered,
-//! cache hit rate above zero, **setup built exactly once** — exiting
-//! nonzero otherwise, which is what `ci.sh` runs.
+//! cache hit rate above zero, **setup built exactly once**, and (sharded)
+//! a bitwise match against the unsharded solve plus per-shard cache
+//! accounting — exiting nonzero otherwise, which is what `ci.sh` runs.
 
 use kfds_askit::{skeletonize, SkelConfig};
 use kfds_core::{SharedSetup, SolverConfig, StorageMode};
@@ -37,6 +42,7 @@ struct Args {
     workers: usize,
     high_water: usize,
     timeout_ms: u64,
+    shards: usize,
     smoke: bool,
 }
 
@@ -51,6 +57,7 @@ impl Default for Args {
             workers: 2,
             high_water: 1024,
             timeout_ms: 30_000,
+            shards: 1,
             smoke: false,
         }
     }
@@ -74,6 +81,7 @@ fn parse_args() -> Args {
             "--workers" => args.workers = grab("--workers").max(1),
             "--high-water" => args.high_water = grab("--high-water").max(1),
             "--timeout-ms" => args.timeout_ms = grab("--timeout-ms") as u64,
+            "--shards" => args.shards = grab("--shards").max(1),
             "--smoke" => args.smoke = true,
             other => {
                 eprintln!("unknown flag: {other}");
@@ -117,7 +125,12 @@ fn main() {
         .with_max_batch(args.max_batch)
         .with_high_water(args.high_water)
         .with_default_timeout(Duration::from_millis(args.timeout_ms))
-        .with_cache_capacity(args.keys.max(2));
+        .with_cache_capacity(args.keys.max(2))
+        .with_shards(args.shards);
+    // A `--shards P` request still yields a single-node service when the
+    // `KFDS_SHARD` kill-switch is off; the smoke lane accounting below
+    // follows the tier that actually ran.
+    let sharding_active = args.shards > 1 && !kfds_switches::KFDS_SHARD.is_off();
     let base = SolverConfig::default().with_storage(StorageMode::StoredGemv);
     let svc = Arc::new(SolveService::start_two_level(cfg, base, build_setup));
 
@@ -125,6 +138,31 @@ fn main() {
     for key in &keys {
         let t = svc.submit(key.clone(), vec![1.0; args.n]).expect("warmup submit");
         t.wait().expect("warmup solve");
+    }
+
+    // Sharded smoke pre-check: a sequential single-request round trip
+    // dispatches as a batch of one, so the service answer and an
+    // out-of-band unsharded blocked solve of the same 1-column matrix
+    // must agree **bitwise** (the shard tier only repartitions the same
+    // arithmetic).
+    if args.smoke && args.shards > 1 {
+        let skey = SetupKey::from(&keys[0]);
+        let setup = build_setup(&skey).expect("reference setup");
+        let sf = kfds_core::SharedFactor::refactorize(&setup, base.with_lambda(keys[0].lambda()))
+            .expect("reference factor");
+        let rhs: Vec<f64> = (0..args.n).map(|i| 0.25 + ((i * 11) % 13) as f64 / 13.0).collect();
+        let tree = sf.skeleton_tree().tree();
+        let mut b = kfds_la::Mat::zeros(args.n, 1);
+        b.col_mut(0).copy_from_slice(&tree.permute_vec(&rhs));
+        sf.solve_block_in_place(&mut b, &kfds_krylov::GmresOptions::default())
+            .expect("reference solve");
+        let want = tree.unpermute_vec(b.col(0));
+        let got = svc.submit(keys[0].clone(), rhs).expect("submit").wait().expect("routed solve");
+        if got != want {
+            eprintln!("SMOKE FAIL: sharded answer differs from the unsharded solve");
+            std::process::exit(1);
+        }
+        eprintln!("sharded bitwise pre-check OK (p = {})", args.shards);
     }
 
     let t0 = Instant::now();
@@ -179,12 +217,14 @@ fn main() {
     println!("{}", stats.to_json());
     eprintln!(
         "served {} requests in {:.2}s ({rps:.1} rps, mean batch {:.2}, cache hit rate {:.3}, \
-         setup builds {})",
+         setup builds {}, shards {}, shard fallbacks {})",
         answered.load(Ordering::Relaxed),
         elapsed.as_secs_f64(),
         stats.mean_batch,
         stats.cache_hit_rate(),
         stats.setup_builds,
+        stats.shards.len(),
+        stats.shard_fallbacks,
     );
 
     if args.smoke {
@@ -199,10 +239,26 @@ fn main() {
             && stats.setup_builds == 1
             && stats.full_misses == 1
             && stats.setup_hits == args.keys as u64 - 1;
-        if !ok {
+        // Per-shard accounting: with every factor complete, every batch
+        // routes (no fallbacks) and reaches every shard exactly once, and
+        // each shard fills its local partition cache once per key.
+        let lanes_ok = if sharding_active {
+            stats.shards.len() == args.shards
+                && stats.shard_fallbacks == 0
+                && stats.shards.iter().all(|l| {
+                    l.errors == 0
+                        && l.requests == stats.batches
+                        && l.local_misses == args.keys as u64
+                        && l.local_hits == stats.batches - args.keys as u64
+                })
+        } else {
+            stats.shards.is_empty() && stats.shard_fallbacks == 0
+        };
+        if !ok || !lanes_ok {
             eprintln!(
                 "SMOKE FAIL: errors={} failed={} answered={}/{} hit_rate={:.3} poisoned={} \
-                 setup_builds={} setup_hits={} full_misses={}",
+                 setup_builds={} setup_hits={} full_misses={} shard_lanes={:?} \
+                 shard_fallbacks={}",
                 stats.errors,
                 failed.load(Ordering::Relaxed),
                 answered.load(Ordering::Relaxed),
@@ -212,6 +268,8 @@ fn main() {
                 stats.setup_builds,
                 stats.setup_hits,
                 stats.full_misses,
+                stats.shards,
+                stats.shard_fallbacks,
             );
             std::process::exit(1);
         }

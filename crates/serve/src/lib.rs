@@ -25,6 +25,15 @@
 //!   latency histograms and the batch-size distribution, rendered as
 //!   JSON.
 //!
+//! * Sharded serving — `ServeConfig::with_shards(p)` routes every
+//!   complete-factorization batch through a [`kfds_shard::ShardRouter`]:
+//!   the factor is partitioned into `p` rank-owned subtree shards
+//!   ([`kfds_core::PartitionedFactor`]), RHS blocks scatter/gather over
+//!   the `kfds-rt` transport, and the answers are **bitwise-identical**
+//!   to the single-node blocked solve. Per-shard counters surface as
+//!   [`ShardLane`]s in [`ServeStats`]; `KFDS_SHARD=off` restores the
+//!   single-node path exactly.
+//!
 //! Runtime: plain OS threads and condvars — no async executor. The
 //! `kfds-serve` binary wraps the service with a closed-loop load
 //! generator; `KFDS_SERVE_BATCH=off` disables coalescing for A/B runs.
@@ -34,7 +43,8 @@ pub mod service;
 pub mod stats;
 
 pub use cache::{CacheError, FactorCache, FactorKey, SetupCache, SetupKey, SingleFlightCache};
-pub use service::{set_batching_enabled, ServeConfig, SolveService, Ticket};
+pub use kfds_shard::ShardLane;
+pub use service::{set_batching_enabled, set_shard_enabled, ServeConfig, SolveService, Ticket};
 pub use stats::{Quantiles, ServeStats};
 
 /// Errors a request (or the service) can answer with.

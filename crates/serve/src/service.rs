@@ -37,6 +37,7 @@ use kfds_core::{SharedFactor, SharedSetup, SolverConfig};
 use kfds_kernels::Kernel;
 use kfds_krylov::GmresOptions;
 use kfds_la::Mat;
+use kfds_shard::{ShardError, ShardRouter};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -67,6 +68,31 @@ pub fn set_batching_enabled(on: bool) {
     BATCH_ENABLED.store(on, Ordering::Relaxed);
 }
 
+/// Runtime kill-switch for the sharded serve tier: `KFDS_SHARD=off` (or
+/// `0`) makes a `sharded(p)` service skip the shard router and run every
+/// batch on the single-node blocked path — bitwise-identical answers (the
+/// router only repartitions the same arithmetic), so the tiers can be
+/// A/B-compared without a rebuild.
+static SHARD_ENABLED: AtomicBool = AtomicBool::new(true);
+static SHARD_ENV_INIT: Once = Once::new();
+
+fn shard_enabled() -> bool {
+    SHARD_ENV_INIT.call_once(|| {
+        if kfds_switches::KFDS_SHARD.is_off() {
+            SHARD_ENABLED.store(false, Ordering::Relaxed);
+        }
+    });
+    SHARD_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables the shard tier at runtime (overrides `KFDS_SHARD`).
+/// Only consulted at [`SolveService`] construction: a running service
+/// keeps (or keeps lacking) its router.
+pub fn set_shard_enabled(on: bool) {
+    let _ = shard_enabled(); // apply the env default first
+    SHARD_ENABLED.store(on, Ordering::Relaxed);
+}
+
 /// Service configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -86,6 +112,13 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// GMRES options for the hybrid (partially factorized) solve path.
     pub gmres: GmresOptions,
+    /// Shard-group size: `1` (default) serves every batch on the
+    /// single-node blocked path; `p > 1` starts a [`ShardRouter`] that
+    /// partitions each complete factorization across `p` rank-owned
+    /// subtree shards and scatter/gathers the RHS blocks
+    /// (bitwise-identical answers). Subject to the `KFDS_SHARD`
+    /// kill-switch at service start.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +131,7 @@ impl Default for ServeConfig {
             linger: Duration::from_micros(500),
             cache_capacity: 4,
             gmres: GmresOptions::default(),
+            shards: 1,
         }
     }
 }
@@ -136,6 +170,13 @@ impl ServeConfig {
     /// Builder-style setter for the factorization-cache capacity.
     pub fn with_cache_capacity(mut self, c: usize) -> Self {
         self.cache_capacity = c;
+        self
+    }
+
+    /// Builder-style setter for the shard-group size (`1` disables the
+    /// shard tier).
+    pub fn with_shards(mut self, p: usize) -> Self {
+        self.shards = p.max(1);
         self
     }
 }
@@ -230,6 +271,9 @@ struct Shared<K: Kernel + 'static> {
     cache: FactorCache<SharedFactor<K>>,
     mode: BuildMode<K>,
     metrics: Metrics,
+    /// Shard router for `sharded(p)` services (`cfg.shards > 1` with
+    /// `KFDS_SHARD` on at start); `None` serves single-node.
+    shard: Option<ShardRouter<FactorKey, K>>,
 }
 
 impl<K: Kernel + 'static> Shared<K> {
@@ -280,6 +324,8 @@ impl<K: Kernel + 'static> SolveService<K> {
     }
 
     fn start_with_mode(cfg: ServeConfig, mode: BuildMode<K>) -> Self {
+        let shard = (cfg.shards > 1 && shard_enabled())
+            .then(|| ShardRouter::start(cfg.shards, cfg.cache_capacity));
         let shared = Arc::new(Shared {
             cache: FactorCache::new(cfg.cache_capacity),
             cfg,
@@ -287,6 +333,7 @@ impl<K: Kernel + 'static> SolveService<K> {
             cv: Condvar::new(),
             mode,
             metrics: Metrics::default(),
+            shard,
         });
         let workers = (0..shared.cfg.workers.max(1))
             .map(|i| {
@@ -346,7 +393,8 @@ impl<K: Kernel + 'static> SolveService<K> {
         Ok(Ticket { cell })
     }
 
-    /// Snapshot of all counters and histograms.
+    /// Snapshot of all counters and histograms (including one
+    /// [`crate::stats::ShardLane`] per shard when the service is sharded).
     pub fn stats(&self) -> ServeStats {
         let depth = self.shared.queue.lock().deque.len();
         let (setup_entries, setup_builds) = self.shared.setup_cache_stats();
@@ -356,6 +404,7 @@ impl<K: Kernel + 'static> SolveService<K> {
             self.shared.cache.poisoned_len(),
             setup_entries,
             setup_builds,
+            self.shared.shard.as_ref().map(ShardRouter::stats).unwrap_or_default(),
         )
     }
 
@@ -372,7 +421,8 @@ impl<K: Kernel + 'static> SolveService<K> {
     }
 
     /// Closes the queue, drains it (pending requests are answered
-    /// [`ServeError::ShuttingDown`]), and joins the workers.
+    /// [`ServeError::ShuttingDown`]), joins the workers, and stops the
+    /// shard router (if any).
     pub fn shutdown(mut self) -> ServeStats {
         {
             let mut q = self.shared.queue.lock();
@@ -381,6 +431,10 @@ impl<K: Kernel + 'static> SolveService<K> {
         self.shared.cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Workers are gone, so no solve is in flight on the router.
+        if let Some(router) = &self.shared.shard {
+            router.shutdown();
         }
         let mut q = self.shared.queue.lock();
         while let Some(req) = q.deque.pop_front() {
@@ -394,6 +448,7 @@ impl<K: Kernel + 'static> SolveService<K> {
             self.shared.cache.poisoned_len(),
             setup_entries,
             setup_builds,
+            self.shared.shard.as_ref().map(ShardRouter::stats).unwrap_or_default(),
         )
     }
 }
@@ -449,6 +504,52 @@ fn worker_loop<K: Kernel + 'static>(sh: &Shared<K>) {
         }
         drop(q);
         dispatch(sh, batch);
+    }
+}
+
+/// How one blocked batch solve failed, and whether the failure implicates
+/// the cached factors.
+enum BatchFailure {
+    /// The solve returned an error; the factors themselves are fine.
+    Solve(String),
+    /// A shard worker panicked or returned a malformed gather leg
+    /// mid-protocol: the partitioned factors are suspect, so the key is
+    /// quarantined — the same policy a panicking local solve gets.
+    Shard(String),
+}
+
+/// Runs one blocked batch: through the shard router when this service is
+/// sharded and the factorization is complete (the only shape the
+/// partition covers — and where the routed answer is bitwise-identical to
+/// [`SharedFactor::solve_block_in_place`]), single-node otherwise. Router
+/// refusals (unpartitionable factor, racing shutdown) fall back to the
+/// single-node path — same bits — and count in `shard_fallbacks`.
+fn solve_batch<K: Kernel + 'static>(
+    sh: &Shared<K>,
+    key: &FactorKey,
+    sf: &SharedFactor<K>,
+    b: &mut Mat,
+) -> Result<(), BatchFailure> {
+    let single = |b: &mut Mat| {
+        sf.solve_block_in_place(b, &sh.cfg.gmres).map_err(|e| BatchFailure::Solve(e.to_string()))
+    };
+    let Some(router) = sh.shard.as_ref().filter(|_| sf.is_complete()) else {
+        if sh.shard.is_some() {
+            // Hybrid (partially factorized) solves have a GMRES outer
+            // iteration the shard tier does not partition.
+            sh.metrics.shard_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        return single(b);
+    };
+    match router.solve(key, sf, b) {
+        Ok(()) => Ok(()),
+        Err(e @ ShardError::ShardFailed { .. }) => Err(BatchFailure::Shard(e.to_string())),
+        Err(ShardError::Unpartitionable(_) | ShardError::ShuttingDown) => {
+            // Both refusals happen before any RHS block is scattered, so
+            // `b` is untouched and the single-node path sees clean input.
+            sh.metrics.shard_fallbacks.fetch_add(1, Ordering::Relaxed);
+            single(b)
+        }
     }
 }
 
@@ -546,7 +647,7 @@ fn dispatch<K: Kernel + 'static>(sh: &Shared<K>, batch: Vec<Request>) {
     let t0 = Instant::now();
     let solved = catch_unwind(AssertUnwindSafe(|| {
         let mut b = b;
-        sf.solve_block_in_place(&mut b, &sh.cfg.gmres).map(|()| b)
+        solve_batch(sh, &key, &sf, &mut b).map(|()| b)
     }));
     m.solve_us.record(t0.elapsed());
     match solved {
@@ -559,9 +660,20 @@ fn dispatch<K: Kernel + 'static>(sh: &Shared<K>, batch: Vec<Request>) {
                 req.cell.fulfill(Ok(xj));
             }
         }
-        Ok(Err(e)) => {
+        Ok(Err(BatchFailure::Solve(e))) => {
             m.errors.fetch_add(valid.len() as u64, Ordering::Relaxed);
-            let err = ServeError::SolveFailed(e.to_string());
+            let err = ServeError::SolveFailed(e);
+            for req in valid {
+                req.cell.fulfill(Err(err.clone()));
+            }
+        }
+        Ok(Err(BatchFailure::Shard(e))) => {
+            // A shard-side failure mid-protocol means the partitioned
+            // factors are suspect: quarantine the key, same as a local
+            // panic.
+            sh.cache.poison(&key, &e);
+            m.errors.fetch_add(valid.len() as u64, Ordering::Relaxed);
+            let err = ServeError::SolveFailed(e);
             for req in valid {
                 req.cell.fulfill(Err(err.clone()));
             }

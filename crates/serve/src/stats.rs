@@ -9,6 +9,7 @@
 //! bucket — plenty for p50/p99 dashboards, and the exact max is tracked
 //! alongside.
 
+use kfds_shard::ShardLane;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -170,6 +171,10 @@ pub(crate) struct Metrics {
     /// factorization).
     pub full_misses: AtomicU64,
     pub batches: AtomicU64,
+    /// Batches a sharded service served on the single-node path anyway
+    /// (hybrid factor, unpartitionable cut, or a racing router shutdown).
+    /// Always 0 for an unsharded service.
+    pub shard_fallbacks: AtomicU64,
     pub max_queue_depth: AtomicU64,
     pub batch_hist: BatchHist,
     /// Submit → dispatch.
@@ -188,6 +193,7 @@ impl Metrics {
         cache_poisoned: usize,
         setup_entries: usize,
         setup_builds: u64,
+        shards: Vec<ShardLane>,
     ) -> ServeStats {
         let (batch_hist, mean_batch) = self.batch_hist.snapshot();
         ServeStats {
@@ -201,6 +207,8 @@ impl Metrics {
             setup_hits: self.setup_hits.load(Ordering::Relaxed),
             full_misses: self.full_misses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            shard_fallbacks: self.shard_fallbacks.load(Ordering::Relaxed),
+            shards,
             queue_depth,
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             cache_entries,
@@ -243,6 +251,15 @@ pub struct ServeStats {
     pub full_misses: u64,
     /// Solve batches dispatched.
     pub batches: u64,
+    /// Batches a sharded service served single-node anyway (hybrid
+    /// factor, unpartitionable shard cut, or a racing router shutdown) —
+    /// bitwise the same answers, just without the shard fan-out. Always 0
+    /// for an unsharded service.
+    pub shard_fallbacks: u64,
+    /// One lane of counters per shard worker (empty for an unsharded
+    /// service): requests seen, local partition-cache hits/misses, rows
+    /// solved, and errors.
+    pub shards: Vec<ShardLane>,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,
     /// Deepest queue observed at any submit.
@@ -285,8 +302,9 @@ impl ServeStats {
     pub fn to_json(&self) -> String {
         let hist: Vec<String> =
             self.batch_hist.iter().map(|(sz, c)| format!("[{sz}, {c}]")).collect();
+        let shards: Vec<String> = self.shards.iter().map(ShardLane::to_json).collect();
         format!(
-            "{{\n  \"submitted\": {},\n  \"completed\": {},\n  \"rejected_overload\": {},\n  \"rejected_deadline\": {},\n  \"errors\": {},\n  \"factor_hits\": {},\n  \"setup_hits\": {},\n  \"full_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_entries\": {},\n  \"cache_poisoned\": {},\n  \"setup_entries\": {},\n  \"setup_builds\": {},\n  \"batches\": {},\n  \"mean_batch\": {:.3},\n  \"batch_hist\": [{}],\n  \"queue_depth\": {},\n  \"max_queue_depth\": {},\n  \"queue_us\": {},\n  \"solve_us\": {},\n  \"total_us\": {}\n}}",
+            "{{\n  \"submitted\": {},\n  \"completed\": {},\n  \"rejected_overload\": {},\n  \"rejected_deadline\": {},\n  \"errors\": {},\n  \"factor_hits\": {},\n  \"setup_hits\": {},\n  \"full_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_entries\": {},\n  \"cache_poisoned\": {},\n  \"setup_entries\": {},\n  \"setup_builds\": {},\n  \"batches\": {},\n  \"shard_fallbacks\": {},\n  \"shards\": [{}],\n  \"mean_batch\": {:.3},\n  \"batch_hist\": [{}],\n  \"queue_depth\": {},\n  \"max_queue_depth\": {},\n  \"queue_us\": {},\n  \"solve_us\": {},\n  \"total_us\": {}\n}}",
             self.submitted,
             self.completed,
             self.rejected_overload,
@@ -301,6 +319,8 @@ impl ServeStats {
             self.setup_entries,
             self.setup_builds,
             self.batches,
+            self.shard_fallbacks,
+            shards.join(", "),
             self.mean_batch,
             hist.join(", "),
             self.queue_depth,
@@ -347,13 +367,16 @@ mod tests {
         m.submitted.fetch_add(3, Ordering::Relaxed);
         m.batch_hist.record(2);
         m.queue_us.record(Duration::from_micros(42));
-        let s = m.snapshot(1, 2, 0, 1, 1);
+        m.shard_fallbacks.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot(1, 2, 0, 1, 1, Vec::new());
         let j = s.to_json();
         assert!(j.contains("\"submitted\": 3"));
         assert!(j.contains("\"batch_hist\": [[2, 1]]"));
         assert!(j.contains("\"cache_entries\": 2"));
         assert!(j.contains("\"setup_entries\": 1"));
         assert!(j.contains("\"setup_builds\": 1"));
+        assert!(j.contains("\"shard_fallbacks\": 2"));
+        assert!(j.contains("\"shards\": []"), "unsharded snapshot renders an empty lane list");
     }
 
     #[test]
@@ -363,7 +386,7 @@ mod tests {
         m.setup_hits.fetch_add(3, Ordering::Relaxed);
         m.full_misses.fetch_add(1, Ordering::Relaxed);
         m.cache_misses.fetch_add(4, Ordering::Relaxed);
-        let s = m.snapshot(0, 4, 0, 1, 1);
+        let s = m.snapshot(0, 4, 0, 1, 1, Vec::new());
         assert_eq!(s.setup_hits + s.full_misses, s.cache_misses);
         assert!((s.cache_hit_rate() - 5.0 / 9.0).abs() < 1e-12);
         let j = s.to_json();

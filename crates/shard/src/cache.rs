@@ -1,0 +1,253 @@
+//! Generic LRU + single-flight + quarantine cache.
+//!
+//! Grown out of `kfds-serve`'s factorization cache (PR 3) and generalized
+//! over the key for the two-level setup/factor hierarchy (PR 7); it moved
+//! here so the sharded tier can stack a third level on the same
+//! machinery: each shard worker runs a *local* `SingleFlightCache` of
+//! [`kfds_core::PartitionedFactor`] handles in front of the router-owned
+//! shard-group cache, which it reads through [`peek`]
+//! (SingleFlightCache::peek) — a lookup that never builds, because only
+//! the router may install a partition for its shard group.
+//!
+//! **Single-flight:** concurrent `get_or_build` calls for the same key
+//! block on one builder invocation instead of racing N builds; waiters
+//! receive the built handle (counted as hits — they did not pay for the
+//! build).
+//!
+//! **Quarantine:** a builder error (or panic) poisons the key. Subsequent
+//! requests fail fast with [`CacheError::Poisoned`] without re-running
+//! the builder, so one broken key cannot occupy the workers, and
+//! unrelated keys are untouched.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Condvar;
+use std::sync::PoisonError;
+
+/// Why a cache lookup failed.
+#[derive(Clone, Debug)]
+pub enum CacheError {
+    /// This call ran the builder and it failed.
+    BuildFailed(String),
+    /// The key is quarantined from an earlier failure; the builder was
+    /// not re-run.
+    Poisoned(String),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::BuildFailed(e) => write!(f, "factorization build failed: {e}"),
+            CacheError::Poisoned(e) => write!(f, "factorization key quarantined: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+enum Slot<V> {
+    /// A builder is running on some thread; waiters sleep on the condvar.
+    Building,
+    Ready {
+        value: V,
+        last_used: u64,
+    },
+    Poisoned(String),
+}
+
+struct CacheState<Key, V> {
+    map: HashMap<Key, Slot<V>>,
+    /// Monotonic recency clock for LRU.
+    tick: u64,
+}
+
+/// LRU + single-flight + quarantine cache, generic over the key. The
+/// serve tier instantiates it three ways: factor-level (λ included),
+/// setup-level (λ-free), and per-shard partition-local. All levels share
+/// this one implementation, so the single-flight and quarantine
+/// semantics are identical.
+pub struct SingleFlightCache<Key: Clone + Eq + std::hash::Hash, V: Clone> {
+    capacity: usize,
+    state: Mutex<CacheState<Key, V>>,
+    cv: Condvar,
+    builds: AtomicU64,
+}
+
+impl<Key: Clone + Eq + std::hash::Hash, V: Clone> SingleFlightCache<Key, V> {
+    /// Creates a cache retaining at most `capacity` ready factorizations
+    /// (`capacity` is clamped to ≥ 1). Poisoned keys are quarantine
+    /// records, not cached values, and do not count against the capacity.
+    pub fn new(capacity: usize) -> Self {
+        SingleFlightCache {
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState { map: HashMap::new(), tick: 0 }),
+            cv: Condvar::new(),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, running `build` exactly once across all concurrent
+    /// callers if absent. Returns the handle plus `true` when it was
+    /// served without running the builder in this call (a hit — including
+    /// single-flight waiters).
+    ///
+    /// # Errors
+    /// [`CacheError::Poisoned`] for quarantined keys (fast-fail, builder
+    /// not re-run); [`CacheError::BuildFailed`] when this call's build
+    /// errored or panicked (the key becomes quarantined).
+    pub fn get_or_build<E: std::fmt::Display>(
+        &self,
+        key: &Key,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), CacheError> {
+        let mut st = self.state.lock();
+        loop {
+            match st.map.get(key) {
+                Some(Slot::Ready { .. }) => {
+                    st.tick += 1;
+                    let t = st.tick;
+                    let Some(Slot::Ready { value, last_used }) = st.map.get_mut(key) else {
+                        unreachable!("slot was Ready under the same lock");
+                    };
+                    *last_used = t;
+                    return Ok((value.clone(), true));
+                }
+                Some(Slot::Poisoned(e)) => return Err(CacheError::Poisoned(e.clone())),
+                Some(Slot::Building) => {
+                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                None => break,
+            }
+        }
+        // We are the builder for this key.
+        st.map.insert(key.clone(), Slot::Building);
+        drop(st);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let built = catch_unwind(AssertUnwindSafe(build));
+        let mut st = self.state.lock();
+        let outcome = match built {
+            Ok(Ok(v)) => {
+                st.tick += 1;
+                let t = st.tick;
+                st.map.insert(key.clone(), Slot::Ready { value: v.clone(), last_used: t });
+                self.evict_lru(&mut st);
+                Ok((v, false))
+            }
+            Ok(Err(e)) => {
+                let msg = e.to_string();
+                st.map.insert(key.clone(), Slot::Poisoned(msg.clone()));
+                Err(CacheError::BuildFailed(msg))
+            }
+            Err(panic) => {
+                let msg = panic_message(panic.as_ref());
+                st.map.insert(key.clone(), Slot::Poisoned(msg.clone()));
+                Err(CacheError::BuildFailed(msg))
+            }
+        };
+        drop(st);
+        self.cv.notify_all();
+        outcome
+    }
+
+    /// Read-only lookup: returns the ready value for `key` (bumping its
+    /// recency) or `None`, never waiting on or running a builder. Shard
+    /// workers use this against the router-owned group cache — only the
+    /// router installs partitions, so a worker must not trigger (or block
+    /// on) a build from the data-plane path.
+    pub fn peek(&self, key: &Key) -> Option<V> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let t = st.tick;
+        match st.map.get_mut(key) {
+            Some(Slot::Ready { value, last_used }) => {
+                *last_used = t;
+                Some(value.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn evict_lru(&self, st: &mut CacheState<Key, V>) {
+        loop {
+            let ready: Vec<(&Key, u64)> = st
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_used, .. } => Some((k, *last_used)),
+                    _ => None,
+                })
+                .collect();
+            if ready.len() <= self.capacity {
+                return;
+            }
+            let victim =
+                ready.iter().min_by_key(|(_, t)| *t).map(|(k, _)| (*k).clone()).expect("nonempty");
+            st.map.remove(&victim);
+        }
+    }
+
+    /// Quarantines `key` explicitly (e.g. after a solve panic), so later
+    /// requests fail fast instead of re-dispatching onto a bad
+    /// factorization.
+    pub fn poison(&self, key: &Key, reason: impl Into<String>) {
+        let mut st = self.state.lock();
+        st.map.insert(key.clone(), Slot::Poisoned(reason.into()));
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Ready factorizations resident.
+    pub fn ready_len(&self) -> usize {
+        self.state.lock().map.values().filter(|s| matches!(s, Slot::Ready { .. })).count()
+    }
+
+    /// Quarantined keys.
+    pub fn poisoned_len(&self) -> usize {
+        self.state.lock().map.values().filter(|s| matches!(s, Slot::Poisoned(_))).count()
+    }
+
+    /// How many times a builder was invoked over the cache's lifetime.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("factorization panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("factorization panicked: {s}")
+    } else {
+        "factorization panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peek_never_builds_and_bumps_recency() {
+        let c: SingleFlightCache<String, u64> = SingleFlightCache::new(2);
+        assert_eq!(c.peek(&"a".into()), None, "peek on an absent key is a miss");
+        assert_eq!(c.builds(), 0, "peek must never run a builder");
+        for (i, name) in ["a", "b"].iter().enumerate() {
+            c.get_or_build(&name.to_string(), || Ok::<_, String>(i as u64)).expect("seed");
+        }
+        assert_eq!(c.peek(&"a".into()), Some(0));
+        // The peek above touched "a", so inserting "c" must evict "b".
+        c.get_or_build(&"c".into(), || Ok::<_, String>(2)).expect("insert c");
+        assert_eq!(c.peek(&"a".into()), Some(0), "peeked entry must survive eviction");
+        assert_eq!(c.peek(&"b".into()), None, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn peek_sees_neither_building_nor_poisoned() {
+        let c: SingleFlightCache<String, u64> = SingleFlightCache::new(2);
+        let err = c.get_or_build(&"bad".into(), || Err::<u64, _>("boom")).unwrap_err();
+        assert!(matches!(err, CacheError::BuildFailed(_)));
+        assert_eq!(c.peek(&"bad".into()), None, "a quarantined key is not a ready value");
+    }
+}

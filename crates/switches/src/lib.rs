@@ -129,6 +129,17 @@ pub const KFDS_SERVE_BATCH: Switch = Switch {
           throughput comparisons)",
 };
 
+/// `KFDS_SHARD`: kill-switch for the sharded serve tier.
+pub const KFDS_SHARD: Switch = Switch {
+    name: "KFDS_SHARD",
+    default: "on",
+    off_values: &["off", "0"],
+    doc: "disables the sharded serve tier: `sharded(p)` services skip the \
+          shard router and run every solve on the single-node blocked path \
+          (bitwise-identical answers — the router only repartitions the \
+          same arithmetic)",
+};
+
 /// Every registered switch, in README table order. New switches must be
 /// added here (and nowhere else) — the lint and the README generator both
 /// iterate this array.
@@ -140,6 +151,7 @@ pub const ALL: &[&Switch] = &[
     &KFDS_KNN,
     &KFDS_REFACTOR,
     &KFDS_SERVE_BATCH,
+    &KFDS_SHARD,
 ];
 
 /// Renders the README runtime-switch table (markdown). The table between
