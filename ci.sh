@@ -84,27 +84,33 @@ if [[ $tsan -eq 1 ]]; then
   fi
 fi
 
-echo "== dispatch checks (simd, cpqr, gemm eval, knn, refactor, scaling) =="
+echo "== dispatch checks (simd, cpqr, gemm eval, knn, refactor, batch, scaling) =="
 # Fails if this host supports AVX2+FMA but the vector kernels silently
 # fell back to scalar, or if the blocked CPQR / GEMM eval / GEMM-tile kNN
-# paths silently deactivated (dispatch or build regression). The knn and
-# refactor gates run separately so a neighbor-search or λ-sweep
-# refactorization regression is named in the output; the refactor gate
-# also verifies KFDS_REFACTOR=off reproduces the legacy per-λ path. The
-# scaling gate arms only on hosts with >= 2 physical cores (it reports
-# not-armed and passes elsewhere) and then requires multi-thread
-# setup+factorize to beat single-thread wall-clock.
+# paths silently deactivated (dispatch or build regression). The knn,
+# refactor, and batch gates run separately so a neighbor-search, λ-sweep
+# refactorization, or level-batched engine regression is named in the
+# output; the refactor and batch gates also verify their KFDS_* opt-outs
+# reproduce the legacy paths (KFDS_BATCH=off must route back to the
+# per-node engine; the default must be bitwise vs per-node). The scaling
+# gate arms only on hosts with >= 2 physical cores (it reports not-armed
+# and passes elsewhere) and then requires multi-thread setup+factorize to
+# beat single-thread wall-clock.
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check knn
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check refactor
   KFDS_REFACTOR=off cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check refactor
+  cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check batch
+  KFDS_BATCH=off cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check batch
   cargo run -q --release -p kfds-bench --bin perf_trajectory -- --check scaling
 else
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check knn
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check refactor
   KFDS_REFACTOR=off cargo run -q -p kfds-bench --bin perf_trajectory -- --check refactor
+  cargo run -q -p kfds-bench --bin perf_trajectory -- --check batch
+  KFDS_BATCH=off cargo run -q -p kfds-bench --bin perf_trajectory -- --check batch
   cargo run -q -p kfds-bench --bin perf_trajectory -- --check scaling
 fi
 

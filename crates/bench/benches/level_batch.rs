@@ -1,0 +1,52 @@
+//! Criterion benchmarks: the level-batched execution engine
+//! (`KFDS_BATCH`) against the per-node reference. Both engines produce
+//! bitwise-identical output (that contract is property-tested in
+//! `kfds-core/tests/batch_equiv.rs`); this bench measures what the
+//! batching actually buys — one planned launch per shape group per level
+//! instead of one dense-op cascade per node — over the three setup
+//! stages it rewires: skeletonization, kernel block assembly, and the
+//! factorization sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfds_askit::{compute_neighbors, skeletonize_with_neighbors, SkelConfig};
+use kfds_core::{assemble_blocks, factorize, SolverConfig};
+use kfds_kernels::Gaussian;
+use kfds_tree::datasets::normal_embedded;
+use kfds_tree::BallTree;
+use std::hint::black_box;
+
+fn bench_level_batch(c: &mut Criterion) {
+    let n = 2048;
+    let points = normal_embedded(n, 3, 8, 0.05, 5);
+    let kernel = Gaussian::new(1.5);
+    let skel_cfg = SkelConfig::default().with_tol(0.0).with_max_rank(48).with_neighbors(8);
+    let tree = BallTree::build(&points, 64);
+    let nn = compute_neighbors(&tree, &skel_cfg);
+    let st = skeletonize_with_neighbors(tree.clone(), &kernel, skel_cfg.clone(), &nn);
+    let cfg = SolverConfig::default().with_lambda(0.5);
+
+    let mut group = c.benchmark_group("level_batch_2K");
+    group.sample_size(10);
+    let prev = kfds_la::batch_active();
+    for (name, batched) in [("pernode", false), ("batched", true)] {
+        group.bench_function(format!("skeletonize_{name}"), |b| {
+            kfds_la::set_batch_enabled(batched);
+            b.iter(|| {
+                black_box(skeletonize_with_neighbors(tree.clone(), &kernel, skel_cfg.clone(), &nn))
+            })
+        });
+        group.bench_function(format!("assemble_{name}"), |b| {
+            kfds_la::set_batch_enabled(batched);
+            b.iter(|| black_box(assemble_blocks(&st, &kernel).stats().bytes))
+        });
+        group.bench_function(format!("factorize_{name}"), |b| {
+            kfds_la::set_batch_enabled(batched);
+            b.iter(|| black_box(factorize(&st, &kernel, cfg).expect("factorize").stats().flops))
+        });
+    }
+    kfds_la::set_batch_enabled(prev);
+    group.finish();
+}
+
+criterion_group!(benches, bench_level_batch);
+criterion_main!(benches);

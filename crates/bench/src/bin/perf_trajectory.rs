@@ -30,15 +30,18 @@
 //! # vector kernels are inactive, or if the blocked CPQR / GEMM assembly /
 //! # GEMM-tile kNN paths silently fell back, without the matching KFDS_*
 //! # opt-out. An optional gate name (simd | cpqr | eval | knn | refactor |
-//! # scaling) runs one gate alone. The `scaling` gate arms only on hosts
-//! # with >= 2 physical cores and then requires a multi-thread
-//! # setup+factorize to beat single-thread wall-clock.
+//! # batch | scaling) runs one gate alone. The `scaling` gate arms only on
+//! # hosts with >= 2 physical cores and then requires a multi-thread
+//! # setup+factorize to beat single-thread wall-clock. The `batch` gate
+//! # requires the level-batched engine to be active (absent KFDS_BATCH=off)
+//! # and to reproduce the per-node engine bitwise end to end.
 //! ```
 
 use kfds_askit::{compute_neighbors, skeletonize_with_neighbors};
 use kfds_bench::{arg_f64, harness_skel_config, scaled_bandwidth, standin, test_vec, timed};
 use kfds_core::{
-    assemble_blocks, factorize, factorize_with_blocks, refactor_enabled, SolverConfig, StorageMode,
+    assemble_blocks, factorize, factorize_with_blocks, refactor_enabled, LevelStats, SolverConfig,
+    StorageMode,
 };
 use kfds_kernels::Gaussian;
 use kfds_la::{cpqr, simd, workspace, ColPivQr, Mat};
@@ -77,6 +80,15 @@ struct Run {
     /// λ-only refactorization over pre-assembled blocks (full-fast rows
     /// only; 0.0 elsewhere).
     t_refactor_s: f64,
+    /// Skeletonization under the per-node engine (`KFDS_BATCH` A/B;
+    /// full-fast rows only, 0.0 elsewhere or when batching is off).
+    t_skel_pernode_s: f64,
+    /// Factorization under the per-node engine (`KFDS_BATCH` A/B;
+    /// full-fast rows only, 0.0 elsewhere or when batching is off).
+    t_factor_pernode_s: f64,
+    /// Per-level breakdown of the batched factorization sweep (root-last,
+    /// bottom-up); empty when the per-node engine ran.
+    factor_levels: Vec<LevelStats>,
     t_solve_s: f64,
     t_solve16_s: f64,
     solve16_rhs_per_s: f64,
@@ -183,13 +195,18 @@ fn main() {
                 let mut t_assemble = f64::INFINITY;
                 let mut t_factor_stored = f64::INFINITY;
                 let mut t_refactor = f64::INFINITY;
+                let mut t_skel_pernode = f64::INFINITY;
+                let mut t_factor_pernode = f64::INFINITY;
                 let mut t_solve = f64::INFINITY;
                 let mut t_solve16 = f64::INFINITY;
                 let mut flops = 0.0;
+                let mut factor_levels = Vec::new();
                 // The λ-sweep refactorization triplet (assemble once,
                 // fresh StoredGemv factorize, λ-only refactor) is measured
-                // on the full-fast configuration only.
+                // on the full-fast configuration only, as is the
+                // `KFDS_BATCH` A/B (per-node engine setup timings).
                 let measure_refactor = pool && simd_on && cpqr_on;
+                let measure_batch = measure_refactor && kfds_la::batch_active();
                 for _ in 0..REPS {
                     let tree = pool_handle.install(|| BallTree::build(&wl.points, wl.m));
                     let (st, tsk) = pool_handle.install(|| {
@@ -228,16 +245,38 @@ fn main() {
                         t_factor_stored = t_factor_stored.min(tfs);
                         t_refactor = t_refactor.min(tr);
                     }
+                    if measure_batch {
+                        // Same workload under the per-node engine: the
+                        // before/after of the level-batched planner.
+                        kfds_la::set_batch_enabled(false);
+                        let tree_pn = pool_handle.install(|| BallTree::build(&wl.points, wl.m));
+                        let (st_pn, tskp) = pool_handle.install(|| {
+                            timed(|| {
+                                skeletonize_with_neighbors(tree_pn, &kernel, skel_cfg.clone(), &nn)
+                            })
+                        });
+                        let (_, tfp) = pool_handle.install(|| {
+                            timed(|| factorize(&st_pn, &kernel, cfg).expect("per-node factorize"))
+                        });
+                        kfds_la::set_batch_enabled(true);
+                        t_skel_pernode = t_skel_pernode.min(tskp);
+                        t_factor_pernode = t_factor_pernode.min(tfp);
+                    }
                     t_skel = t_skel.min(tsk);
                     t_factor = t_factor.min(tf);
                     t_solve = t_solve.min(ts);
                     t_solve16 = t_solve16.min(ts16);
                     flops = ft.stats().flops;
+                    factor_levels = ft.stats().levels.clone();
                 }
                 if !measure_refactor {
                     t_assemble = 0.0;
                     t_factor_stored = 0.0;
                     t_refactor = 0.0;
+                }
+                if !measure_batch {
+                    t_skel_pernode = 0.0;
+                    t_factor_pernode = 0.0;
                 }
                 let (h1, m1) = workspace::stats();
                 runs.push(Run {
@@ -255,6 +294,9 @@ fn main() {
                     t_assemble_s: t_assemble,
                     t_factor_stored_s: t_factor_stored,
                     t_refactor_s: t_refactor,
+                    t_skel_pernode_s: t_skel_pernode,
+                    t_factor_pernode_s: t_factor_pernode,
+                    factor_levels: std::mem::take(&mut factor_levels),
                     t_solve_s: t_solve,
                     t_solve16_s: t_solve16,
                     solve16_rhs_per_s: 16.0 / t_solve16,
@@ -278,6 +320,14 @@ fn main() {
                         r.t_factor_stored_s / r.t_refactor_s
                     );
                 }
+                if measure_batch {
+                    eprintln!(
+                        "    per-node skel {:.3}s, factor {:.3}s (batched setup {:.2}x)",
+                        r.t_skel_pernode_s,
+                        r.t_factor_pernode_s,
+                        (r.t_skel_pernode_s + r.t_factor_pernode_s) / (r.t_skel_s + r.t_factor_s)
+                    );
+                }
             }
         }
     }
@@ -291,7 +341,7 @@ fn main() {
 /// `--check [gate]`: verifies that every runtime-dispatched fast path is
 /// in the state the host and environment imply. Returns the process exit
 /// code. With a gate name (`simd` | `cpqr` | `eval` | `knn` | `refactor`
-/// | `scaling`) only that gate runs.
+/// | `batch` | `scaling`) only that gate runs.
 ///
 /// * AVX2+FMA host, vector kernels active — OK.
 /// * `KFDS_SIMD=off`/`0` set — scalar mode was requested, OK.
@@ -305,10 +355,10 @@ fn main() {
 ///   distance tiles — **failure**: kNN silently fell back to scalar.
 fn dispatch_check(gate: Option<&str>) -> i32 {
     if let Some(g) = gate {
-        if !["simd", "cpqr", "eval", "knn", "refactor", "scaling"].contains(&g) {
+        if !["simd", "cpqr", "eval", "knn", "refactor", "batch", "scaling"].contains(&g) {
             eprintln!(
                 "unknown dispatch gate {g:?} (expected simd | cpqr | eval | knn | refactor | \
-                 scaling)"
+                 batch | scaling)"
             );
             return 2;
         }
@@ -514,6 +564,70 @@ fn dispatch_check(gate: Option<&str>) -> i32 {
             eprintln!("refactor check: λ-sweep refactorization active and bitwise across λ grid");
         }
     }
+
+    // Level-batched engine gate: with no opt-out, the batched planner
+    // must be active AND reproduce the per-node engine bitwise end to
+    // end (skeletonize → factorize → solve, plus the flop accounting),
+    // and it must actually record a per-level breakdown. With
+    // `KFDS_BATCH=off`, the per-node engine must be the one running.
+    if want("batch") {
+        let batch_env_off = kfds_switches::KFDS_BATCH.is_off();
+        if batch_env_off {
+            if kfds_la::batch_active() {
+                eprintln!(
+                    "batch check FAILED: KFDS_BATCH=off is set but the level-batched engine \
+                     reports active — the kill-switch is not being honored"
+                );
+                return 1;
+            }
+            eprintln!("batch check: KFDS_BATCH=off requested, per-node engine active");
+        } else {
+            if !kfds_la::batch_active() {
+                eprintln!(
+                    "batch check FAILED: KFDS_BATCH not set but the level-batched engine is \
+                     inactive — setup silently fell back to per-node dense calls"
+                );
+                return 1;
+            }
+            let pts = normal_embedded(512, 3, 8, 0.05, 37);
+            let kernel = Gaussian::new(1.0);
+            let skel_cfg = harness_skel_config(pts.dim(), 1e-5, 48, 1);
+            let cfg = SolverConfig::default().with_lambda(0.7);
+            let run = |batched: bool| {
+                kfds_la::set_batch_enabled(batched);
+                let tree = BallTree::build(&pts, 64);
+                let nn = compute_neighbors(&tree, &skel_cfg);
+                let st = skeletonize_with_neighbors(tree, &kernel, skel_cfg.clone(), &nn);
+                let ft = factorize(&st, &kernel, cfg).expect("factorize");
+                let mut x = test_vec(512, 9);
+                ft.solve_in_place(&mut x).expect("solve");
+                let stats = ft.stats();
+                (x, stats.flops, stats.levels.len())
+            };
+            let (xb, fb, levels) = run(true);
+            let (xp, fp, _) = run(false);
+            kfds_la::set_batch_enabled(true);
+            if xb != xp || fb.to_bits() != fp.to_bits() {
+                eprintln!(
+                    "batch check FAILED: the level-batched engine does not reproduce the \
+                     per-node engine bitwise (solve outputs or flop accounting differ) — \
+                     batching changed arithmetic, not just scheduling"
+                );
+                return 1;
+            }
+            if levels == 0 {
+                eprintln!(
+                    "batch check FAILED: the batched factorization recorded no per-level \
+                     breakdown — the level sweep did not route through the batched planner"
+                );
+                return 1;
+            }
+            eprintln!(
+                "batch check: level-batched engine active, bitwise vs per-node, \
+                 {levels} level(s) recorded"
+            );
+        }
+    }
     0
 }
 
@@ -599,7 +713,7 @@ fn render_json(runs: &[Run], skipped: &[(String, usize)], scale: f64) -> String 
     let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kfds-perf-trajectory-v7\",\n");
+    s.push_str("  \"schema\": \"kfds-perf-trajectory-v8\",\n");
     s.push_str(
         "  \"generated_by\": \"cargo run --release -p kfds-bench --bin perf_trajectory\",\n",
     );
@@ -608,7 +722,7 @@ fn render_json(runs: &[Run], skipped: &[(String, usize)], scale: f64) -> String 
     s.push_str(&format!("  \"host_physical_cores\": {},\n", physical_cores()));
     s.push_str(&format!("  \"host_simd\": \"{}\",\n", simd::detected_features()));
     s.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
-    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s is invariant under the grid switches and is measured once per thread count (shared across that thread count's rows); kNN is measured A/B per thread count — t_knn_s is the blocked GEMM-tile search (KFDS_KNN default) and t_knn_scalar_s the legacy scalar search, so knn_speedup = t_knn_scalar_s / t_knn_s. Thread counts above host_physical_cores are skipped entirely and listed in skipped_rows: timing them would measure time-slicing, not parallel speedup (run `--check scaling` on a multi-core host for the armed strong-scaling gate). batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves. The λ-sweep refactorization triplet is measured on the full-fast rows only (0.0 elsewhere): t_assemble_s is the one-time λ-independent kernel block assembly, t_factor_stored_s a fresh StoredGemv factorization (the fair per-λ baseline), and t_refactor_s the λ-only refactorization over the pre-assembled blocks. refactor_speedup = t_factor_stored_s / t_refactor_s is the steady-state per-λ win; lambda_sweep_amortization = (8 * t_factor_stored_s) / (t_assemble_s + 8 * t_refactor_s) is the end-to-end win of an 8-λ cross-validation sweep including the assembly it amortizes.\",\n");
+    s.push_str("  \"note\": \"pool=false disables the kfds-la workspace pool at runtime; simd=false forces the scalar reference kernels (the pre-SIMD numerics, bitwise); cpqr=false forces the pre-BLAS-3 setup pipeline (unblocked one-reflector CPQR + per-entry scalar kernel block assembly, bitwise). simd_speedup compares (pool on, simd off) vs the full fast path at factor time; pool_speedup compares pool off vs on; skel_speedup compares cpqr off vs on at skeletonization time — the setup win of the blocked RRQR + GEMM assembly. Timings are best-of-3. t_tree_s is invariant under the grid switches and is measured once per thread count (shared across that thread count's rows); kNN is measured A/B per thread count — t_knn_s is the blocked GEMM-tile search (KFDS_KNN default) and t_knn_scalar_s the legacy scalar search, so knn_speedup = t_knn_scalar_s / t_knn_s. Thread counts above host_physical_cores are skipped entirely and listed in skipped_rows: timing them would measure time-slicing, not parallel speedup (run `--check scaling` on a multi-core host for the armed strong-scaling gate). batch16_solve_amortization is (16 * t_solve_s) / t_solve16_s — the per-RHS win of one blocked traversal over 16 single solves. The λ-sweep refactorization triplet is measured on the full-fast rows only (0.0 elsewhere): t_assemble_s is the one-time λ-independent kernel block assembly, t_factor_stored_s a fresh StoredGemv factorization (the fair per-λ baseline), and t_refactor_s the λ-only refactorization over the pre-assembled blocks. refactor_speedup = t_factor_stored_s / t_refactor_s is the steady-state per-λ win; lambda_sweep_amortization = (8 * t_factor_stored_s) / (t_assemble_s + 8 * t_refactor_s) is the end-to-end win of an 8-λ cross-validation sweep including the assembly it amortizes. The KFDS_BATCH A/B is measured on the full-fast rows only (0.0 elsewhere): t_skel_pernode_s / t_factor_pernode_s rerun the same skeletonize/factorize under the per-node engine, so batch_setup_speedup = (t_skel_pernode_s + t_factor_pernode_s) / (t_skel_s + t_factor_s) is the win of the level-batched planner (bitwise-identical output, scheduling only). factor_levels is the batched factorization's per-level breakdown: nodes per level, shape-bucketed op groups launched, and wall-clock seconds, recorded root-last (bottom-up).\",\n");
     s.push_str("  \"skipped_rows\": [\n");
     for (i, (label, threads)) in skipped.iter().enumerate() {
         s.push_str(&format!(
@@ -620,8 +734,19 @@ fn render_json(runs: &[Run], skipped: &[(String, usize)], scale: f64) -> String 
     s.push_str("  ],\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
+        let levels_json: String = r
+            .factor_levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"level\": {}, \"nodes\": {}, \"op_groups\": {}, \"seconds\": {:.6}}}",
+                    l.level, l.nodes, l.op_groups, l.seconds
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_knn_scalar_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_assemble_s\": {:.6}, \"t_factor_stored_s\": {:.6}, \"t_refactor_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}}}{}\n",
+            "    {{\"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pool\": {}, \"simd\": {}, \"cpqr\": {}, \"t_tree_s\": {:.6}, \"t_knn_s\": {:.6}, \"t_knn_scalar_s\": {:.6}, \"t_skel_s\": {:.6}, \"t_factor_s\": {:.6}, \"t_assemble_s\": {:.6}, \"t_factor_stored_s\": {:.6}, \"t_refactor_s\": {:.6}, \"t_skel_pernode_s\": {:.6}, \"t_factor_pernode_s\": {:.6}, \"t_solve_s\": {:.6}, \"t_solve16_s\": {:.6}, \"solve16_rhs_per_s\": {:.1}, \"flops\": {:.3e}, \"factor_gflops\": {:.4}, \"pool_hits\": {}, \"pool_misses\": {}, \"peak_rss_kb\": {}, \"factor_levels\": [{}]}}{}\n",
             r.label,
             r.n,
             r.threads,
@@ -636,6 +761,8 @@ fn render_json(runs: &[Run], skipped: &[(String, usize)], scale: f64) -> String 
             r.t_assemble_s,
             r.t_factor_stored_s,
             r.t_refactor_s,
+            r.t_skel_pernode_s,
+            r.t_factor_pernode_s,
             r.t_solve_s,
             r.t_solve16_s,
             r.solve16_rhs_per_s,
@@ -644,6 +771,7 @@ fn render_json(runs: &[Run], skipped: &[(String, usize)], scale: f64) -> String 
             r.pool_hits,
             r.pool_misses,
             r.peak_rss_kb,
+            levels_json,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
@@ -715,6 +843,14 @@ fn render_json(runs: &[Run], skipped: &[(String, usize)], scale: f64) -> String 
                 r.label,
                 r.threads,
                 (8.0 * r.t_factor_stored_s) / (r.t_assemble_s + 8.0 * r.t_refactor_s)
+            ));
+        }
+        if r.t_factor_pernode_s > 0.0 {
+            lines.push(format!(
+                "    \"{}_t{}_batch_setup_speedup\": {:.4}",
+                r.label,
+                r.threads,
+                (r.t_skel_pernode_s + r.t_factor_pernode_s) / (r.t_skel_s + r.t_factor_s)
             ));
         }
     }

@@ -27,8 +27,9 @@
 //! [`crate::lambda_sweep`] and friends back to the legacy
 //! factorize-from-scratch path.
 
+use crate::config::LevelStats;
 use kfds_askit::SkeletonTree;
-use kfds_kernels::{eval_block_range, eval_symmetric, flops, Kernel};
+use kfds_kernels::{eval_block_range, eval_blocks, eval_symmetric, flops, BlockSpec, Kernel};
 use kfds_la::Mat;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,7 +78,7 @@ pub struct NodeBlocks {
 
 /// Assembly diagnostics, the λ-independent half of what
 /// [`crate::FactorStats`] used to account per factorize call.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct AssembleStats {
     /// Wall-clock seconds spent evaluating kernel blocks.
     pub seconds: f64,
@@ -85,6 +86,11 @@ pub struct AssembleStats {
     pub kernel_flops: f64,
     /// Bytes retained by the cached blocks.
     pub bytes: usize,
+    /// Per-level breakdown of the batched level walk (root-last,
+    /// bottom-up like [`crate::FactorStats::levels`]). Empty on the
+    /// per-node path (`KFDS_BATCH=off`), which is node-, not
+    /// level-parallel.
+    pub levels: Vec<LevelStats>,
 }
 
 /// Every kernel block the factorization of `λI + K̃` reads, evaluated
@@ -147,28 +153,37 @@ pub fn assemble_blocks<K: Kernel>(st: &SkeletonTree, kernel: &K) -> AssembledBlo
     let pts = tree.points();
     let d = pts.dim();
     let per_eval = kernel.flops_per_eval();
-    let nodes: Vec<NodeBlocks> = (0..tree.nodes().len())
-        .into_par_iter()
-        .map(|i| {
-            if !crate::factor::in_factored_region(st, i) {
-                return NodeBlocks::default();
-            }
-            let nd = tree.node(i);
-            match nd.children {
-                None => {
-                    let kaa = eval_symmetric(kernel, pts, nd.range());
-                    NodeBlocks { kaa: Some(kaa), ..Default::default() }
+    let mut levels: Vec<LevelStats> = Vec::new();
+    let nodes: Vec<NodeBlocks> = if kfds_la::batch_active() {
+        assemble_level_batched(st, kernel, &mut levels)
+    } else {
+        (0..tree.nodes().len())
+            .into_par_iter()
+            .map(|i| {
+                if !crate::factor::in_factored_region(st, i) {
+                    return NodeBlocks::default();
                 }
-                Some((l, r)) => {
-                    let skl = st.skeleton(l).expect("factorable node needs skeletonized children");
-                    let skr = st.skeleton(r).expect("factorable node needs skeletonized children");
-                    let k_lr = eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range());
-                    let k_rl = eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range());
-                    NodeBlocks { kaa: None, k_lr: Some(k_lr), k_rl: Some(k_rl) }
+                let nd = tree.node(i);
+                match nd.children {
+                    None => {
+                        let kaa = eval_symmetric(kernel, pts, nd.range());
+                        NodeBlocks { kaa: Some(kaa), ..Default::default() }
+                    }
+                    Some((l, r)) => {
+                        let skl =
+                            st.skeleton(l).expect("factorable node needs skeletonized children");
+                        let skr =
+                            st.skeleton(r).expect("factorable node needs skeletonized children");
+                        let k_lr =
+                            eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range());
+                        let k_rl =
+                            eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range());
+                        NodeBlocks { kaa: None, k_lr: Some(k_lr), k_rl: Some(k_rl) }
+                    }
                 }
-            }
-        })
-        .collect();
+            })
+            .collect()
+    };
 
     let mut kernel_flops = 0.0;
     let mut bytes = 0usize;
@@ -179,6 +194,75 @@ pub fn assemble_blocks<K: Kernel>(st: &SkeletonTree, kernel: &K) -> AssembledBlo
             bytes += blk.nrows() * blk.ncols() * 8;
         }
     }
-    let stats = AssembleStats { seconds: t0.elapsed().as_secs_f64(), kernel_flops, bytes };
+    let stats = AssembleStats { seconds: t0.elapsed().as_secs_f64(), kernel_flops, bytes, levels };
     AssembledBlocks { nodes, stats, n_points: pts.len() }
+}
+
+/// The batched assembly walk (`KFDS_BATCH`): instead of one task per
+/// node, every kernel block of a tree level is requested through one
+/// [`eval_blocks`] call — one gather + Gram GEMM + epilogue launch per
+/// block *shape* group. Identical bits: each block is evaluated by the
+/// same deterministic pipeline as the per-node calls, only the launch
+/// structure differs. Assembly has no cross-level dependencies; levels
+/// are walked bottom-up purely so the recorded [`LevelStats`] align with
+/// the factorization sweep's.
+fn assemble_level_batched<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    levels: &mut Vec<LevelStats>,
+) -> Vec<NodeBlocks> {
+    let tree = st.tree();
+    let pts = tree.points();
+    let mut nodes: Vec<NodeBlocks> =
+        (0..tree.nodes().len()).map(|_| NodeBlocks::default()).collect();
+    for level in (0..=tree.depth()).rev() {
+        let lt0 = Instant::now();
+        let level_nodes: Vec<usize> = tree
+            .nodes_at_level(level)
+            .iter()
+            .copied()
+            .filter(|&i| crate::factor::in_factored_region(st, i))
+            .collect();
+        if level_nodes.is_empty() {
+            continue;
+        }
+        // Spec layout per node: leaf → [K_αα]; internal → [K_l̃r, K_r̃l].
+        let mut specs: Vec<BlockSpec<'_>> = Vec::with_capacity(level_nodes.len() * 2);
+        for &i in &level_nodes {
+            let nd = tree.node(i);
+            match nd.children {
+                None => specs.push(BlockSpec::Symmetric { range: nd.range() }),
+                Some((l, r)) => {
+                    let skl = st.skeleton(l).expect("factorable node needs skeletonized children");
+                    let skr = st.skeleton(r).expect("factorable node needs skeletonized children");
+                    specs.push(BlockSpec::RowsByRange {
+                        rows: &skl.skeleton,
+                        range: tree.node(r).range(),
+                    });
+                    specs.push(BlockSpec::RowsByRange {
+                        rows: &skr.skeleton,
+                        range: tree.node(l).range(),
+                    });
+                }
+            }
+        }
+        let (mats, op_groups) = eval_blocks(kernel, pts, &specs);
+        let mut it = mats.into_iter();
+        for &i in &level_nodes {
+            match tree.node(i).children {
+                None => nodes[i].kaa = Some(it.next().expect("kaa block")),
+                Some(_) => {
+                    nodes[i].k_lr = Some(it.next().expect("k_lr block"));
+                    nodes[i].k_rl = Some(it.next().expect("k_rl block"));
+                }
+            }
+        }
+        levels.push(LevelStats {
+            level,
+            nodes: level_nodes.len(),
+            op_groups,
+            seconds: lt0.elapsed().as_secs_f64(),
+        });
+    }
+    nodes
 }

@@ -95,6 +95,9 @@ pub fn factorize_baseline<'a, K: Kernel>(
         unstable_factorizations: total.unstable,
         max_rank,
         stored_bytes: total.bytes,
+        // Not level-synchronous in the batched sense (pass 2 walks whole
+        // subtrees); no per-level breakdown.
+        levels: Vec::new(),
     };
     Ok(FactorTree::from_parts(st, kernel, config, factors, stats))
 }

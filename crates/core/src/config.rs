@@ -94,6 +94,24 @@ impl SolverConfig {
     }
 }
 
+/// Per-level breakdown of a level-synchronous sweep (factorization or
+/// block assembly): how many nodes the level held, how many grouped
+/// launches executed it, and how long it took. With the batched engine
+/// (`KFDS_BATCH`) `op_groups` counts shape-grouped launches — typically
+/// far fewer than `nodes`; the per-node reference path counts each node
+/// as its own launch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LevelStats {
+    /// Tree level (0 = root).
+    pub level: usize,
+    /// Nodes processed at this level.
+    pub nodes: usize,
+    /// Grouped launches that executed the level.
+    pub op_groups: usize,
+    /// Wall-clock seconds spent on the level.
+    pub seconds: f64,
+}
+
 /// Diagnostics gathered during factorization.
 #[derive(Clone, Debug, Default)]
 pub struct FactorStats {
@@ -111,6 +129,10 @@ pub struct FactorStats {
     pub max_rank: usize,
     /// Bytes held by the factors (LUs, P̂, Z, stored V blocks).
     pub stored_bytes: usize,
+    /// Per-level breakdown, root-last (the sweep runs bottom-up). Empty
+    /// levels are omitted; builders that are not level-synchronous (the
+    /// `O(N log² N)` baseline) leave this empty.
+    pub levels: Vec<LevelStats>,
 }
 
 impl FactorStats {

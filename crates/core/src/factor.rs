@@ -16,7 +16,9 @@
 //! [`crate::baseline`] for the Table III comparison).
 
 use crate::assemble::{assemble_blocks, AssembledBlocks};
-use crate::config::{FactorStats, LeafFactorization, SolverConfig, StorageMode, WStorage};
+use crate::config::{
+    FactorStats, LeafFactorization, LevelStats, SolverConfig, StorageMode, WStorage,
+};
 use crate::error::SolverError;
 use kfds_askit::SkeletonTree;
 use kfds_kernels::flops;
@@ -29,7 +31,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-node outcome of a level-parallel factorization sweep.
-type NodeResult = (usize, Result<(NodeFactors, NodeCost), SolverError>);
+pub(crate) type NodeResult = (usize, Result<(NodeFactors, NodeCost), SolverError>);
 
 /// A factorized leaf diagonal block `λI + K_αα`.
 #[derive(Debug)]
@@ -239,28 +241,29 @@ fn factorize_impl<'a, K: Kernel>(
     let n_nodes = tree.nodes().len();
     let mut factors: Vec<NodeFactors> = (0..n_nodes).map(|_| NodeFactors::default()).collect();
     let mut total = NodeCost { min_pivot: f64::INFINITY, ..Default::default() };
+    let mut levels: Vec<LevelStats> = Vec::with_capacity(tree.depth() + 1);
 
     for level in (0..=tree.depth()).rev() {
+        let lt0 = Instant::now();
         let level_nodes: Vec<usize> = tree
             .nodes_at_level(level)
             .iter()
             .copied()
             .filter(|&i| in_factored_region(st, i))
             .collect();
-        // Nodes of a level are independent; parallelize across them. Each
-        // node only reads children factors from deeper (already final)
-        // levels, so we can hand out disjoint &mut via a scatter.
-        let results: Vec<NodeResult> = level_nodes
-            .par_iter()
-            .map(|&i| (i, factor_node(st, kernel, &config, blocks.as_deref(), &factors, i)))
-            .collect();
-        for (i, res) in results {
-            let (nf, cost) = res?;
-            total.flops += cost.flops;
-            total.min_pivot = total.min_pivot.min(cost.min_pivot);
-            total.unstable += cost.unstable;
-            total.bytes += cost.bytes;
-            factors[i] = nf;
+        let mut op_groups = 0;
+        if !level_nodes.is_empty() {
+            let (results, groups) =
+                run_level(st, kernel, &config, blocks.as_deref(), &factors, &level_nodes);
+            op_groups = groups;
+            for (i, res) in results {
+                let (nf, cost) = res?;
+                total.flops += cost.flops;
+                total.min_pivot = total.min_pivot.min(cost.min_pivot);
+                total.unstable += cost.unstable;
+                total.bytes += cost.bytes;
+                factors[i] = nf;
+            }
         }
         // Recompute-W mode: children's internal P̂ are only needed while
         // building this level; drop them to keep the retained memory at
@@ -278,6 +281,14 @@ fn factorize_impl<'a, K: Kernel>(
                 }
             }
         }
+        if !level_nodes.is_empty() {
+            levels.push(LevelStats {
+                level,
+                nodes: level_nodes.len(),
+                op_groups,
+                seconds: lt0.elapsed().as_secs_f64(),
+            });
+        }
     }
 
     let max_rank = (0..n_nodes).filter_map(|i| st.skeleton(i)).map(|s| s.rank()).max().unwrap_or(0);
@@ -288,8 +299,43 @@ fn factorize_impl<'a, K: Kernel>(
         unstable_factorizations: total.unstable,
         max_rank,
         stored_bytes: total.bytes,
+        levels,
     };
     Ok(FactorTree { st, kernel, config, factors, stats, blocks })
+}
+
+/// Executes one level of the factorization sweep: the batched engine
+/// plans shape-grouped launches ([`crate::levelbatch`]) when `KFDS_BATCH`
+/// is active, otherwise each node runs independently inside one
+/// `par_iter` (the per-node reference path). Returns the per-node results
+/// in `level_nodes` order plus the number of launched op groups (the
+/// per-node path counts each node as its own group).
+pub(crate) fn run_level<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    config: &SolverConfig,
+    blocks: Option<&AssembledBlocks>,
+    factors: &[NodeFactors],
+    level_nodes: &[usize],
+) -> (Vec<NodeResult>, usize) {
+    if kfds_la::batch_active() {
+        return crate::levelbatch::factor_level_batched(
+            st,
+            kernel,
+            config,
+            blocks,
+            factors,
+            level_nodes,
+        );
+    }
+    // Nodes of a level are independent; parallelize across them. Each
+    // node only reads children factors from deeper (already final)
+    // levels, so we can hand out disjoint &mut via a scatter.
+    let results: Vec<NodeResult> = level_nodes
+        .par_iter()
+        .map(|&i| (i, factor_node(st, kernel, config, blocks, factors, i)))
+        .collect();
+    (results, level_nodes.len())
 }
 
 /// Factorizes only the subtree rooted at `root_node` (used by the
@@ -319,13 +365,15 @@ pub(crate) fn factor_subtree<'a, K: Kernel>(
         }
     }
 
+    let mut levels: Vec<LevelStats> = Vec::with_capacity(tree.depth() + 1);
     for level in (0..=tree.depth()).rev() {
+        let lt0 = Instant::now();
         let level_nodes: Vec<usize> =
             by_level[level].iter().copied().filter(|&i| in_factored_region(st, i)).collect();
-        let results: Vec<NodeResult> = level_nodes
-            .par_iter()
-            .map(|&i| (i, factor_node(st, kernel, &config, None, &factors, i)))
-            .collect();
+        if level_nodes.is_empty() {
+            continue;
+        }
+        let (results, op_groups) = run_level(st, kernel, &config, None, &factors, &level_nodes);
         for (i, res) in results {
             let (nf, cost) = res?;
             total.flops += cost.flops;
@@ -334,6 +382,12 @@ pub(crate) fn factor_subtree<'a, K: Kernel>(
             total.bytes += cost.bytes;
             factors[i] = nf;
         }
+        levels.push(LevelStats {
+            level,
+            nodes: level_nodes.len(),
+            op_groups,
+            seconds: lt0.elapsed().as_secs_f64(),
+        });
     }
     let stats = FactorStats {
         seconds: t0.elapsed().as_secs_f64(),
@@ -342,6 +396,7 @@ pub(crate) fn factor_subtree<'a, K: Kernel>(
         unstable_factorizations: total.unstable,
         max_rank: 0,
         stored_bytes: total.bytes,
+        levels,
     };
     Ok(FactorTree { st, kernel, config, factors, stats, blocks: None })
 }
@@ -394,27 +449,39 @@ pub(crate) fn factor_leaf_for_baseline<K: Kernel>(
     factor_leaf(st, kernel, config, None, node)
 }
 
-fn factor_leaf<K: Kernel>(
+/// Materializes a leaf's λ-independent `K_αα`: cached pooled copy on the
+/// refactor path (zero kernel evaluations — the eval flops live in
+/// `AssembleStats`), fresh evaluation otherwise. Identical bits either
+/// way. Returns the block plus the kernel-eval flops.
+pub(crate) fn leaf_kaa<K: Kernel>(
     st: &SkeletonTree,
     kernel: &K,
-    config: &SolverConfig,
     blocks: Option<&AssembledBlocks>,
     node: usize,
-) -> Result<(NodeFactors, NodeCost), SolverError> {
+) -> (Mat, f64) {
     let tree = st.tree();
     let nd = tree.node(node);
     let m = nd.len();
     let d = tree.points().dim();
-    // Refactor path: copy the cached λ-independent K_αα (pooled storage,
-    // zero kernel evaluations — the eval flops live in AssembleStats);
-    // otherwise evaluate it fresh. Identical bits either way.
-    let (mut kaa, eval_flops) = match blocks.and_then(|b| b.node(node).kaa.as_ref()) {
+    match blocks.and_then(|b| b.node(node).kaa.as_ref()) {
         Some(cached) => (workspace::mat_from_view(cached.rb()), 0.0),
         None => (
             eval_symmetric(kernel, tree.points(), nd.range()),
             flops::summation_flops(m, m, d, kernel.flops_per_eval()),
         ),
-    };
+    }
+}
+
+/// Applies the λ shift to a leaf block and factorizes it, producing the
+/// leaf factor and the node's initial cost (factorization + eval flops,
+/// pivot diagnostics, dense-block bytes).
+pub(crate) fn leaf_shift_factor(
+    config: &SolverConfig,
+    node: usize,
+    mut kaa: Mat,
+    eval_flops: f64,
+) -> Result<(LeafFactor, NodeCost), SolverError> {
+    let m = kaa.nrows();
     for i in 0..m {
         kaa[(i, i)] += config.lambda;
     }
@@ -429,24 +496,44 @@ fn factor_leaf<K: Kernel>(
             (LeafFactor::Cholesky(ch), flops::lu_flops(m) / 2.0)
         }
     };
-    let mut cost = NodeCost {
+    let cost = NodeCost {
         flops: factor_flops + eval_flops,
         min_pivot: leaf.min_pivot_ratio(),
         unstable: usize::from(leaf.min_pivot_ratio() < config.stability_threshold),
         bytes: m * m * 8,
     };
+    Ok((leaf, cost))
+}
+
+/// Packs the transposed projection (`proj` is `s x m`) into a pooled
+/// `m x s` right-hand side for the `P̂` solve. Pooled: every element is
+/// written by the transpose copy.
+pub(crate) fn pack_proj(proj: &Mat, m: usize, s: usize) -> Mat {
+    let mut p = workspace::take_mat_detached(m, s);
+    for j in 0..s {
+        for i in 0..m {
+            p[(i, j)] = proj[(j, i)];
+        }
+    }
+    p
+}
+
+fn factor_leaf<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    config: &SolverConfig,
+    blocks: Option<&AssembledBlocks>,
+    node: usize,
+) -> Result<(NodeFactors, NodeCost), SolverError> {
+    let m = st.tree().node(node).len();
+    let (kaa, eval_flops) = leaf_kaa(st, kernel, blocks, node);
+    let (leaf, mut cost) = leaf_shift_factor(config, node, kaa, eval_flops)?;
     // P̂_{αα̃} = (λI + K_αα)^{-1} P_{αα̃}; for root-leaf trees there is no
     // skeleton and no P̂.
     let p_hat = match st.skeleton(node) {
         Some(sk) => {
             let s = sk.rank();
-            // Pooled: every element is written by the transpose copy below.
-            let mut p = workspace::take_mat_detached(m, s);
-            for j in 0..s {
-                for i in 0..m {
-                    p[(i, j)] = sk.proj[(j, i)];
-                }
-            }
+            let mut p = pack_proj(&sk.proj, m, s);
             leaf.solve_mat_inplace(&mut p);
             cost.flops += flops::lu_solve_flops(m, s);
             cost.bytes += m * s * 8;
@@ -502,22 +589,7 @@ pub(crate) fn build_reduced_system<K: Kernel>(
     let mut v_rl = None;
     match config.storage {
         StorageMode::StoredGemv => {
-            // Refactor path: the cached λ-independent coupling blocks are
-            // exactly the stored V blocks — copy them out of the assembly
-            // store (pooled) instead of re-evaluating the kernel. Fresh
-            // path: the sibling columns are contiguous permuted ranges,
-            // streamed straight off the point set. Identical bits.
-            let cached = blocks.map(|b| b.node(node));
-            let (klr, krl) = match cached {
-                Some(nb) if nb.k_lr.is_some() && nb.k_rl.is_some() => (
-                    workspace::mat_from_view(nb.k_lr.as_ref().expect("checked").rb()),
-                    workspace::mat_from_view(nb.k_rl.as_ref().expect("checked").rb()),
-                ),
-                _ => (
-                    eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range()),
-                    eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range()),
-                ),
-            };
+            let (klr, krl) = stored_coupling(st, kernel, blocks, node, l, r);
             gemm(1.0, klr.rb(), Trans::No, p_hat_r.rb(), Trans::No, 0.0, b_l.rb_mut());
             gemm(1.0, krl.rb(), Trans::No, p_hat_l.rb(), Trans::No, 0.0, b_r.rb_mut());
             cost.bytes += (sl * nr + sr * nl) * 8;
@@ -562,7 +634,53 @@ pub(crate) fn build_reduced_system<K: Kernel>(
             + 2.0 * (sl * nr * sr + sr * nl * sl) as f64;
     }
 
-    // Z = I + V W (eq. 8), LU-factorized.
+    let z_lu = factor_z(&b_l, &b_r, sl, sr, node, config, &mut cost)?;
+    Ok(ReducedSystem { b_l, b_r, z_lu, v_lr, v_rl, cost })
+}
+
+/// Materializes the stored-mode coupling blocks `K_{l̃ r}` / `K_{r̃ l}`.
+/// Refactor path: the cached λ-independent coupling blocks are exactly
+/// the stored V blocks — copy them out of the assembly store (pooled)
+/// instead of re-evaluating the kernel. Fresh path: the sibling columns
+/// are contiguous permuted ranges, streamed straight off the point set.
+/// Identical bits.
+pub(crate) fn stored_coupling<K: Kernel>(
+    st: &SkeletonTree,
+    kernel: &K,
+    blocks: Option<&AssembledBlocks>,
+    node: usize,
+    l: usize,
+    r: usize,
+) -> (Mat, Mat) {
+    let tree = st.tree();
+    let pts = tree.points();
+    let skl = st.skeleton(l).expect("factorable node needs skeletonized children");
+    let skr = st.skeleton(r).expect("factorable node needs skeletonized children");
+    let cached = blocks.map(|b| b.node(node));
+    match cached {
+        Some(nb) if nb.k_lr.is_some() && nb.k_rl.is_some() => (
+            workspace::mat_from_view(nb.k_lr.as_ref().expect("checked").rb()),
+            workspace::mat_from_view(nb.k_rl.as_ref().expect("checked").rb()),
+        ),
+        _ => (
+            eval_block_range(kernel, pts, &skl.skeleton, tree.node(r).range()),
+            eval_block_range(kernel, pts, &skr.skeleton, tree.node(l).range()),
+        ),
+    }
+}
+
+/// Packs `Z = I + VW` (eq. 8) from the coupling blocks and LU-factorizes
+/// it, folding the flop/byte/pivot accounting into `cost` exactly like
+/// the per-node path.
+pub(crate) fn factor_z(
+    b_l: &Mat,
+    b_r: &Mat,
+    sl: usize,
+    sr: usize,
+    node: usize,
+    config: &SolverConfig,
+    cost: &mut NodeCost,
+) -> Result<Lu, SolverError> {
     let zdim = sl + sr;
     let mut z = workspace::take_mat_detached(zdim, zdim);
     z.rb_mut().fill(0.0);
@@ -584,7 +702,7 @@ pub(crate) fn build_reduced_system<K: Kernel>(
     cost.bytes += zdim * zdim * 8;
     cost.min_pivot = cost.min_pivot.min(z_lu.min_pivot_ratio());
     cost.unstable += usize::from(z_lu.min_pivot_ratio() < config.stability_threshold);
-    Ok(ReducedSystem { b_l, b_r, z_lu, v_lr, v_rl, cost })
+    Ok(z_lu)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -31,6 +31,7 @@ pub mod error;
 pub mod factor;
 pub mod gp;
 pub mod hybrid;
+mod levelbatch;
 pub mod leveldirect;
 pub mod partition;
 pub mod precond;
@@ -45,7 +46,7 @@ pub use assemble::{
     NodeBlocks,
 };
 pub use baseline::factorize_baseline;
-pub use config::{FactorStats, LeafFactorization, SolverConfig, StorageMode, WStorage};
+pub use config::{FactorStats, LeafFactorization, LevelStats, SolverConfig, StorageMode, WStorage};
 pub use crossval::{
     grid_search_gaussian, lambda_sweep, train_best_gaussian, KernelRidgeMulti, LambdaSweepEntry,
 };

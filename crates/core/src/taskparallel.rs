@@ -4,124 +4,39 @@
 //! level unevenly expensive, so level-synchronous traversal stalls on the
 //! slowest node of each level).
 //!
-//! This scheduler expresses the factorization as its natural dataflow: a
-//! node becomes ready when *its own* two children finish, with
-//! work-stealing (`rayon::join`) instead of per-level barriers. It
-//! produces the identical [`FactorTree`] (asserted in the tests).
+//! Historically this module carried its own fork-join (`rayon::join`)
+//! dataflow scheduler, duplicating the per-node sweep logic of
+//! [`crate::factor`]. The level-batched engine ([`crate::levelbatch`],
+//! `KFDS_BATCH`) subsumed it: within a level, nodes are grouped by shape
+//! and launched together, so the stragglers that motivated dataflow
+//! scheduling are absorbed by group-level work-stealing instead of
+//! per-level barriers over single-node tasks. The entry point is kept for
+//! API stability and now delegates to the shared level engine.
 
-use crate::config::{FactorStats, SolverConfig, WStorage};
+use crate::config::{SolverConfig, WStorage};
 use crate::error::SolverError;
-use crate::factor::{
-    factor_internal, factor_leaf_for_baseline, in_factored_region, FactorTree, NodeCost,
-    NodeFactors,
-};
+use crate::factor::{factorize, FactorTree};
 use kfds_askit::SkeletonTree;
 use kfds_kernels::Kernel;
-use parking_lot::Mutex;
-use std::time::Instant;
 
-/// Runs the `O(N log N)` factorization with task-parallel (dataflow)
-/// scheduling instead of level-synchronous traversal.
+/// Runs the `O(N log N)` factorization with task-parallel scheduling of
+/// each level's work (shape-grouped launches under `KFDS_BATCH`, per-node
+/// `par_iter` tasks otherwise) via the shared level engine.
 ///
-/// Note: [`WStorage::Recompute`]'s transient-`P̂` dropping is tied to the
-/// level-synchronous schedule and is not applied here; the factors are
-/// all retained (`Stored` semantics).
+/// Note: [`WStorage::Recompute`]'s transient-`P̂` dropping was never
+/// applied by the historical dataflow scheduler; for compatibility the
+/// factors are all retained (`Stored` semantics).
 pub fn factorize_taskparallel<'a, K: Kernel>(
     st: &'a SkeletonTree,
     kernel: &'a K,
     config: SolverConfig,
 ) -> Result<FactorTree<'a, K>, SolverError> {
-    let t0 = Instant::now();
-    let tree = st.tree();
-    let n_nodes = tree.nodes().len();
-    // Task scheduling cannot drop P-hats level-by-level; run as Stored.
-    let config = config.with_w_storage(WStorage::Stored);
-    let cells: Vec<Mutex<Option<NodeFactors>>> = (0..n_nodes).map(|_| Mutex::new(None)).collect();
-
-    // Region roots: maximal nodes inside the factored region.
-    let mut roots = Vec::new();
-    collect_region_roots(st, tree.root(), &mut roots);
-
-    let costs: Vec<Result<NodeCost, SolverError>> = {
-        use rayon::prelude::*;
-        roots.par_iter().map(|&root| factor_task(st, kernel, &config, &cells, root)).collect()
-    };
-    let mut total = NodeCost { min_pivot: f64::INFINITY, ..Default::default() };
-    for c in costs {
-        let c = c?;
-        total.flops += c.flops;
-        total.min_pivot = total.min_pivot.min(c.min_pivot);
-        total.unstable += c.unstable;
-        total.bytes += c.bytes;
-    }
-
-    let factors: Vec<NodeFactors> =
-        cells.into_iter().map(|m| m.into_inner().unwrap_or_default()).collect();
-    let max_rank = (0..n_nodes).filter_map(|i| st.skeleton(i)).map(|s| s.rank()).max().unwrap_or(0);
-    let stats = FactorStats {
-        seconds: t0.elapsed().as_secs_f64(),
-        flops: total.flops,
-        min_pivot_ratio: if total.min_pivot.is_finite() { total.min_pivot } else { 1.0 },
-        unstable_factorizations: total.unstable,
-        max_rank,
-        stored_bytes: total.bytes,
-    };
-    Ok(FactorTree::from_parts(st, kernel, config, factors, stats))
-}
-
-fn collect_region_roots(st: &SkeletonTree, node: usize, out: &mut Vec<usize>) {
-    if in_factored_region(st, node) {
-        out.push(node);
-    } else if let Some((l, r)) = st.tree().node(node).children {
-        collect_region_roots(st, l, out);
-        collect_region_roots(st, r, out);
-    }
-}
-
-/// Factorizes the subtree of `node` as a fork-join task graph; each node
-/// fires as soon as its own children are done.
-fn factor_task<K: Kernel>(
-    st: &SkeletonTree,
-    kernel: &K,
-    config: &SolverConfig,
-    cells: &[Mutex<Option<NodeFactors>>],
-    node: usize,
-) -> Result<NodeCost, SolverError> {
-    let tree = st.tree();
-    let (nf, cost) = match tree.node(node).children {
-        None => factor_leaf_for_baseline(st, kernel, config, node)?,
-        Some((l, r)) => {
-            let (cl, cr) = rayon::join(
-                || factor_task(st, kernel, config, cells, l),
-                || factor_task(st, kernel, config, cells, r),
-            );
-            let (cl, cr) = (cl?, cr?);
-            let out = {
-                // Children are complete; their cells are quiescent.
-                let gl = cells[l].lock();
-                let gr = cells[r].lock();
-                let p_hat_l =
-                    gl.as_ref().and_then(|f| f.p_hat.as_ref()).expect("child P-hat missing");
-                let p_hat_r =
-                    gr.as_ref().and_then(|f| f.p_hat.as_ref()).expect("child P-hat missing");
-                factor_internal(st, kernel, config, None, p_hat_l, p_hat_r, node, l, r)?
-            };
-            let mut combined = out.1;
-            combined.flops += cl.flops + cr.flops;
-            combined.min_pivot = combined.min_pivot.min(cl.min_pivot).min(cr.min_pivot);
-            combined.unstable += cl.unstable + cr.unstable;
-            combined.bytes += cl.bytes + cr.bytes;
-            (out.0, combined)
-        }
-    };
-    *cells[node].lock() = Some(nf);
-    Ok(cost)
+    factorize(st, kernel, config.with_w_storage(WStorage::Stored))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::factorize;
     use kfds_askit::{skeletonize, SkelConfig};
     use kfds_kernels::Gaussian;
     use kfds_tree::datasets::normal_embedded;

@@ -21,7 +21,8 @@ pub mod gsks;
 pub mod reference;
 
 pub use eval::{
-    eval_block, eval_block_range, eval_symmetric, gemm_eval_active, set_gemm_eval_enabled,
+    eval_block, eval_block_range, eval_blocks, eval_symmetric, gemm_eval_active,
+    set_gemm_eval_enabled, BlockSpec,
 };
 pub use function::{Gaussian, Kernel, Laplacian, Matern32, Polynomial};
 pub use gsks::{sum_fused, sum_fused_multi};

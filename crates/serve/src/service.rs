@@ -603,6 +603,10 @@ fn dispatch<K: Kernel + 'static>(sh: &Shared<K>, batch: Vec<Request>) {
                     // Single-level misses count as full builds too.
                     Some(false) | None => m.full_misses.fetch_add(1, Ordering::Relaxed),
                 };
+                // A miss just ran the factorization: keep its per-level
+                // breakdown for the stats snapshot.
+                *m.factor_levels.lock().expect("factor_levels lock") =
+                    sf.factor_tree().stats().levels.clone();
             }
             sf
         }

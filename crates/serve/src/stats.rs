@@ -9,8 +9,10 @@
 //! bucket — plenty for p50/p99 dashboards, and the exact max is tracked
 //! alongside.
 
+use kfds_core::LevelStats;
 use kfds_shard::ShardLane;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^{i+1})` µs,
@@ -177,6 +179,10 @@ pub(crate) struct Metrics {
     pub shard_fallbacks: AtomicU64,
     pub max_queue_depth: AtomicU64,
     pub batch_hist: BatchHist,
+    /// Per-level breakdown of the most recently *built* factorization
+    /// (recorded on factor-cache misses; hits never touch it). Not on the
+    /// hot path — one mutex store per factor build.
+    pub factor_levels: Mutex<Vec<LevelStats>>,
     /// Submit → dispatch.
     pub queue_us: LatencyHist,
     /// One blocked solve call (per batch).
@@ -217,6 +223,7 @@ impl Metrics {
             setup_builds,
             batch_hist,
             mean_batch,
+            factor_levels: self.factor_levels.lock().expect("factor_levels lock").clone(),
             queue: self.queue_us.snapshot(),
             solve: self.solve_us.snapshot(),
             total: self.total_us.snapshot(),
@@ -278,6 +285,10 @@ pub struct ServeStats {
     pub batch_hist: Vec<(usize, u64)>,
     /// Mean dispatched batch size.
     pub mean_batch: f64,
+    /// Per-level breakdown (nodes, grouped launches, seconds) of the most
+    /// recently built factorization — empty until the first factor-cache
+    /// miss, or when the builder is not level-synchronous.
+    pub factor_levels: Vec<LevelStats>,
     /// Time-in-queue distribution.
     pub queue: Quantiles,
     /// Per-batch solve-call distribution.
@@ -303,8 +314,18 @@ impl ServeStats {
         let hist: Vec<String> =
             self.batch_hist.iter().map(|(sz, c)| format!("[{sz}, {c}]")).collect();
         let shards: Vec<String> = self.shards.iter().map(ShardLane::to_json).collect();
+        let levels: Vec<String> = self
+            .factor_levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"level\": {}, \"nodes\": {}, \"op_groups\": {}, \"seconds\": {:.6}}}",
+                    l.level, l.nodes, l.op_groups, l.seconds
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"submitted\": {},\n  \"completed\": {},\n  \"rejected_overload\": {},\n  \"rejected_deadline\": {},\n  \"errors\": {},\n  \"factor_hits\": {},\n  \"setup_hits\": {},\n  \"full_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_entries\": {},\n  \"cache_poisoned\": {},\n  \"setup_entries\": {},\n  \"setup_builds\": {},\n  \"batches\": {},\n  \"shard_fallbacks\": {},\n  \"shards\": [{}],\n  \"mean_batch\": {:.3},\n  \"batch_hist\": [{}],\n  \"queue_depth\": {},\n  \"max_queue_depth\": {},\n  \"queue_us\": {},\n  \"solve_us\": {},\n  \"total_us\": {}\n}}",
+            "{{\n  \"submitted\": {},\n  \"completed\": {},\n  \"rejected_overload\": {},\n  \"rejected_deadline\": {},\n  \"errors\": {},\n  \"factor_hits\": {},\n  \"setup_hits\": {},\n  \"full_misses\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_entries\": {},\n  \"cache_poisoned\": {},\n  \"setup_entries\": {},\n  \"setup_builds\": {},\n  \"batches\": {},\n  \"shard_fallbacks\": {},\n  \"shards\": [{}],\n  \"mean_batch\": {:.3},\n  \"batch_hist\": [{}],\n  \"factor_levels\": [{}],\n  \"queue_depth\": {},\n  \"max_queue_depth\": {},\n  \"queue_us\": {},\n  \"solve_us\": {},\n  \"total_us\": {}\n}}",
             self.submitted,
             self.completed,
             self.rejected_overload,
@@ -323,6 +344,7 @@ impl ServeStats {
             shards.join(", "),
             self.mean_batch,
             hist.join(", "),
+            levels.join(", "),
             self.queue_depth,
             self.max_queue_depth,
             self.queue.to_json(),
@@ -368,9 +390,13 @@ mod tests {
         m.batch_hist.record(2);
         m.queue_us.record(Duration::from_micros(42));
         m.shard_fallbacks.fetch_add(2, Ordering::Relaxed);
+        *m.factor_levels.lock().unwrap() =
+            vec![LevelStats { level: 1, nodes: 4, op_groups: 2, seconds: 0.25 }];
         let s = m.snapshot(1, 2, 0, 1, 1, Vec::new());
+        assert_eq!(s.factor_levels.len(), 1);
         let j = s.to_json();
         assert!(j.contains("\"submitted\": 3"));
+        assert!(j.contains("\"factor_levels\": [{\"level\": 1, \"nodes\": 4, \"op_groups\": 2"));
         assert!(j.contains("\"batch_hist\": [[2, 1]]"));
         assert!(j.contains("\"cache_entries\": 2"));
         assert!(j.contains("\"setup_entries\": 1"));

@@ -140,6 +140,18 @@ pub const KFDS_SHARD: Switch = Switch {
           same arithmetic)",
 };
 
+/// `KFDS_BATCH`: kill-switch for the level-batched execution engine.
+pub const KFDS_BATCH: Switch = Switch {
+    name: "KFDS_BATCH",
+    default: "on",
+    off_values: &["off", "0"],
+    doc: "disables the level-batched execution engine: skeletonization, \
+          kernel block assembly, and factorization fall back to per-node \
+          calls inside each level's `par_iter` instead of planned \
+          shape-grouped launches (bitwise-identical answers — batching \
+          changes scheduling, not arithmetic)",
+};
+
 /// Every registered switch, in README table order. New switches must be
 /// added here (and nowhere else) — the lint and the README generator both
 /// iterate this array.
@@ -152,6 +164,7 @@ pub const ALL: &[&Switch] = &[
     &KFDS_REFACTOR,
     &KFDS_SERVE_BATCH,
     &KFDS_SHARD,
+    &KFDS_BATCH,
 ];
 
 /// Renders the README runtime-switch table (markdown). The table between

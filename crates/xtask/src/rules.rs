@@ -31,6 +31,7 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/la/src/simd.rs",
     "crates/la/src/blas1.rs",
     "crates/la/src/blas2.rs",
+    "crates/la/src/batch.rs",
     "crates/kernels/src/gsks.rs",
     "crates/tree/src/dist_tiles.rs",
 ];
