@@ -34,10 +34,21 @@ cargo fmt --all --check
 echo "== cargo clippy (all targets, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== kfds-lint (SAFETY comments, switch registry, hot-path allocs, unsafe preconditions) =="
+echo "== kfds-lint (SAFETY comments, switch registry, hot-path allocs, unsafe preconditions, =="
+echo "==            lock discipline, panic-free data plane, forbid-unsafe, switch coverage)  =="
 # The machine-checked safety invariants — see DESIGN.md §7. Always on:
-# the lint is pure source analysis and takes well under a second.
-cargo run -q -p xtask -- lint
+# the lint is pure source analysis and takes well under a second. The
+# per-rule count line is asserted below so a rule family that silently
+# stopped running (refactor regression in xtask) cannot read as green.
+lint_out="$(cargo run -q -p xtask -- lint)"
+echo "$lint_out"
+for rule in unsafe-safety env-registry hot-path-alloc unsafe-preconditions \
+            lock-discipline panic-path forbid-unsafe switch-coverage switch-table; do
+  if ! grep -q " ${rule}=" <<<"$lint_out"; then
+    echo "kfds-lint did not report the ${rule} rule — lint harness regression" >&2
+    exit 1
+  fi
+done
 
 if [[ $fast -eq 0 ]]; then
   echo "== cargo build --release =="
@@ -54,6 +65,16 @@ echo "== cargo test (workspace, KFDS_CPQR=unblocked + KFDS_EVAL_GEMM=off — BLA
 # The legacy one-reflector CPQR and the scalar kernel-block assembly are the
 # bitwise reference for the blocked setup pipeline; keep them green.
 KFDS_CPQR=unblocked KFDS_EVAL_GEMM=off cargo test -q --workspace
+
+echo "== cargo test (kfds-la, KFDS_WS_POOL=off — global-allocator workspace path) =="
+# The pool kill-switch must leave every factorization/solve result
+# untouched (the pool only changes where scratch memory comes from).
+KFDS_WS_POOL=off cargo test -q -p kfds-la
+
+echo "== cargo test (kfds-tree, KFDS_KNN=scalar — scalar-distance kNN reference) =="
+# The GEMM-tile neighbor search must agree with the scalar reference
+# under both search modes; this lane runs the tree suite on that path.
+KFDS_KNN=scalar cargo test -q -p kfds-tree
 
 if [[ $miri -eq 1 ]]; then
   echo "== miri lane (kfds-la deterministic suite under the interpreter) =="
@@ -126,9 +147,16 @@ echo "== kfds-serve smoke (single-node, then sharded) =="
 if [[ $fast -eq 0 ]]; then
   cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --n 1024 --keys 2 --clients 8 --requests 64
   cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --shards 2 --n 1024 --keys 2 --clients 8 --requests 64
+  # Kill-switch lanes: KFDS_SERVE_BATCH=off must still answer every
+  # request (batches of one), and KFDS_SHARD=off must turn a --shards
+  # request back into the bitwise-identical single-node service.
+  KFDS_SERVE_BATCH=off cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --n 1024 --keys 2 --clients 8 --requests 64
+  KFDS_SHARD=off cargo run -q --release -p kfds-serve --bin kfds-serve -- --smoke --shards 2 --n 1024 --keys 2 --clients 8 --requests 64
 else
   cargo run -q -p kfds-serve --bin kfds-serve -- --smoke --n 512 --keys 2 --clients 4 --requests 32
   cargo run -q -p kfds-serve --bin kfds-serve -- --smoke --shards 2 --n 512 --keys 2 --clients 4 --requests 32
+  KFDS_SERVE_BATCH=off cargo run -q -p kfds-serve --bin kfds-serve -- --smoke --n 512 --keys 2 --clients 4 --requests 32
+  KFDS_SHARD=off cargo run -q -p kfds-serve --bin kfds-serve -- --smoke --shards 2 --n 512 --keys 2 --clients 4 --requests 32
 fi
 
 echo "CI OK"

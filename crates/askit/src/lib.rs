@@ -12,6 +12,8 @@
 //! same symmetric form (eq. 6) the factorization uses — the factorization
 //! must invert exactly this operator, which the tests verify.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod evaluate;
 pub mod matvec;

@@ -5,6 +5,8 @@
 //! binaries and records paper-vs-measured comparisons. Sizes are scaled to
 //! a single machine (`--scale` multiplies the default problem sizes).
 
+#![forbid(unsafe_code)]
+
 use kfds_askit::{skeletonize, SkelConfig, SkeletonTree};
 use kfds_kernels::Gaussian;
 use kfds_tree::datasets::{self, DatasetSpec};

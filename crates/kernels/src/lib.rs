@@ -14,6 +14,8 @@
 //! * [`flops`] — flop/memory-operation accounting used by the benchmark
 //!   harnesses to report GFLOP/s the way the paper does.
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod flops;
 pub mod function;

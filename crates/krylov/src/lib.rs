@@ -5,6 +5,8 @@
 //! both recording residual-vs-wall-clock convergence traces — the raw data
 //! behind Figure 5.
 
+#![forbid(unsafe_code)]
+
 pub mod cg;
 pub mod gmres;
 pub mod operator;

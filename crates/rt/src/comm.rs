@@ -1,7 +1,7 @@
 //! Communicators, point-to-point messaging and collectives.
 
+use crate::sync::{LockRank, RankedMutex};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -29,7 +29,7 @@ struct Mailbox {
 
 struct WorldState {
     senders: Vec<Sender<Packet>>,
-    mailboxes: Vec<Mutex<Mailbox>>,
+    mailboxes: Vec<RankedMutex<Mailbox>>,
     next_comm_id: AtomicU64,
 }
 
@@ -54,6 +54,9 @@ impl World {
                 let fref = &f;
                 handles.push(scope.spawn(move || fref(comm)));
             }
+            // PANIC-OK: World::run's contract is to propagate a rank's
+            // panic to the caller (documented above); callers that need
+            // containment wrap the whole collective in catch_unwind.
             handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
     }
@@ -77,7 +80,8 @@ impl World {
         for _ in 0..p {
             let (tx, rx) = unbounded();
             senders.push(tx);
-            mailboxes.push(Mutex::new(Mailbox { rx, pending: Vec::new() }));
+            mailboxes
+                .push(RankedMutex::new(LockRank::RtMailbox, Mailbox { rx, pending: Vec::new() }));
         }
         let state = Arc::new(WorldState { senders, mailboxes, next_comm_id: AtomicU64::new(1) });
         let members: Arc<Vec<usize>> = Arc::new((0..p).collect());
@@ -146,6 +150,9 @@ const COLLECTIVE_TAG: u32 = u32::MAX - 16;
 impl Comm {
     /// This process's rank within the communicator.
     pub fn rank(&self) -> usize {
+        // PANIC-OK: a Comm is only constructed (endpoints/split_half)
+        // with its own world rank in `members`; absence is a torn
+        // communicator, unrecoverable at this layer.
         self.members.iter().position(|&w| w == self.rank).expect("rank not in communicator")
     }
 
@@ -161,6 +168,10 @@ impl Comm {
     fn send_payload(&self, dst_local: usize, tag: u32, payload: Payload) {
         let dst = self.world_rank_of(dst_local);
         let pkt = Packet { src_world: self.rank, comm_id: self.comm_id, tag, payload };
+        // PANIC-OK: the receiving rank's mailbox outlives every endpoint
+        // (WorldState is Arc-shared by all Comms); a hung-up channel means
+        // the world itself is torn down mid-protocol — unrecoverable here,
+        // contained by the serve tier's catch_unwind + quarantine.
         self.world.senders[dst].send(pkt).expect("receiver hung up");
     }
 
@@ -176,6 +187,9 @@ impl Comm {
             return mb.pending.remove(pos).payload;
         }
         loop {
+            // PANIC-OK: every sender handle lives in the shared WorldState,
+            // so disconnection means the world was dropped while a rank is
+            // still blocked in a protocol — a torn world, not a data error.
             let pkt = mb.rx.recv().expect("sender hung up");
             if pkt.src_world == src_world && pkt.comm_id == self.comm_id && pkt.tag == tag {
                 return pkt.payload;
@@ -203,6 +217,9 @@ impl Comm {
         }
         match self.recv_payload(src, tag) {
             Payload::F64(v) => v,
+            // PANIC-OK: a payload-type mismatch under a matched (comm,
+            // tag) is a protocol bug (tags are namespace-registered and
+            // non-overtaking), not a runtime condition to degrade from.
             other => panic!("type mismatch for tag {tag}: expected f64, got {other:?}"),
         }
     }
@@ -223,6 +240,7 @@ impl Comm {
         }
         match self.recv_payload(src, tag) {
             Payload::Usize(v) => v,
+            // PANIC-OK: same protocol-bug reasoning as recv_f64.
             other => panic!("type mismatch for tag {tag}: expected usize, got {other:?}"),
         }
     }
@@ -256,6 +274,8 @@ impl Comm {
                     );
                     *data = v;
                 }
+                // PANIC-OK: collective payloads use a reserved tag range;
+                // a mismatch is a protocol bug.
                 other => panic!("bcast type mismatch: {other:?}"),
             }
         }
@@ -282,6 +302,8 @@ impl Comm {
                     );
                     *data = v;
                 }
+                // PANIC-OK: same reserved-tag protocol-bug reasoning as
+                // bcast_f64.
                 other => panic!("bcast type mismatch: {other:?}"),
             }
         }
@@ -302,6 +324,8 @@ impl Comm {
                                 *a += b;
                             }
                         }
+                        // PANIC-OK: same reserved-tag protocol-bug
+                        // reasoning as bcast_f64.
                         other => panic!("reduce type mismatch: {other:?}"),
                     }
                 }

@@ -15,7 +15,10 @@
 //! * collectives are blocking and must be entered by every rank of the
 //!   communicator.
 
+#![forbid(unsafe_code)]
+
 mod comm;
+pub mod sync;
 pub mod tags;
 
 pub use comm::{Comm, Transport, World};

@@ -63,37 +63,34 @@ impl Default for Args {
     }
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut grab = |name: &str| -> usize {
+        let mut grab = |name: &str| -> Result<usize, String> {
             it.next()
                 .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{name} expects an integer argument"))
+                .ok_or_else(|| format!("{name} expects an integer argument"))
         };
         match flag.as_str() {
-            "--n" => args.n = grab("--n"),
-            "--keys" => args.keys = grab("--keys").max(1),
-            "--clients" => args.clients = grab("--clients").max(1),
-            "--requests" => args.requests = grab("--requests"),
-            "--max-batch" => args.max_batch = grab("--max-batch").max(1),
-            "--workers" => args.workers = grab("--workers").max(1),
-            "--high-water" => args.high_water = grab("--high-water").max(1),
-            "--timeout-ms" => args.timeout_ms = grab("--timeout-ms") as u64,
-            "--shards" => args.shards = grab("--shards").max(1),
+            "--n" => args.n = grab("--n")?,
+            "--keys" => args.keys = grab("--keys")?.max(1),
+            "--clients" => args.clients = grab("--clients")?.max(1),
+            "--requests" => args.requests = grab("--requests")?,
+            "--max-batch" => args.max_batch = grab("--max-batch")?.max(1),
+            "--workers" => args.workers = grab("--workers")?.max(1),
+            "--high-water" => args.high_water = grab("--high-water")?.max(1),
+            "--timeout-ms" => args.timeout_ms = grab("--timeout-ms")? as u64,
+            "--shards" => args.shards = grab("--shards")?.max(1),
             "--smoke" => args.smoke = true,
-            other => {
-                eprintln!("unknown flag: {other}");
-                std::process::exit(2);
-            }
+            other => return Err(format!("unknown flag: {other}")),
         }
     }
     if args.smoke {
         args.n = args.n.min(1024);
         args.requests = args.requests.min(128);
     }
-    args
+    Ok(args)
 }
 
 /// Builds the λ-free setup for a key: the key's seed picks the dataset,
@@ -113,7 +110,22 @@ fn build_setup(key: &SetupKey) -> Result<SharedSetup<Gaussian>, ServeError> {
 }
 
 fn main() {
-    let args = parse_args();
+    // Usage errors exit 2, runtime failures exit 1 — never a panic
+    // backtrace: this binary is a CI gate and its stderr is the report.
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("kfds-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(args) {
+        eprintln!("kfds-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
     // λ-only key spread over one (dataset, n, h, seed): the shape of a
     // regularization sweep, and the best case for the two-level cache.
     let keys: Vec<FactorKey> = (0..args.keys)
@@ -136,8 +148,10 @@ fn main() {
 
     // Warm the cache up front so the measured phase is pure serving.
     for key in &keys {
-        let t = svc.submit(key.clone(), vec![1.0; args.n]).expect("warmup submit");
-        t.wait().expect("warmup solve");
+        let t = svc
+            .submit(key.clone(), vec![1.0; args.n])
+            .map_err(|e| format!("warmup submit failed: {e}"))?;
+        t.wait().map_err(|e| format!("warmup solve failed: {e}"))?;
     }
 
     // Sharded smoke pre-check: a sequential single-request round trip
@@ -147,20 +161,23 @@ fn main() {
     // arithmetic).
     if args.smoke && args.shards > 1 {
         let skey = SetupKey::from(&keys[0]);
-        let setup = build_setup(&skey).expect("reference setup");
+        let setup = build_setup(&skey).map_err(|e| format!("reference setup failed: {e}"))?;
         let sf = kfds_core::SharedFactor::refactorize(&setup, base.with_lambda(keys[0].lambda()))
-            .expect("reference factor");
+            .map_err(|e| format!("reference factorization failed: {e}"))?;
         let rhs: Vec<f64> = (0..args.n).map(|i| 0.25 + ((i * 11) % 13) as f64 / 13.0).collect();
         let tree = sf.skeleton_tree().tree();
         let mut b = kfds_la::Mat::zeros(args.n, 1);
         b.col_mut(0).copy_from_slice(&tree.permute_vec(&rhs));
         sf.solve_block_in_place(&mut b, &kfds_krylov::GmresOptions::default())
-            .expect("reference solve");
+            .map_err(|e| format!("reference solve failed: {e}"))?;
         let want = tree.unpermute_vec(b.col(0));
-        let got = svc.submit(keys[0].clone(), rhs).expect("submit").wait().expect("routed solve");
+        let got = svc
+            .submit(keys[0].clone(), rhs)
+            .map_err(|e| format!("pre-check submit failed: {e}"))?
+            .wait()
+            .map_err(|e| format!("pre-check routed solve failed: {e}"))?;
         if got != want {
-            eprintln!("SMOKE FAIL: sharded answer differs from the unsharded solve");
-            std::process::exit(1);
+            return Err("SMOKE FAIL: sharded answer differs from the unsharded solve".into());
         }
         eprintln!("sharded bitwise pre-check OK (p = {})", args.shards);
     }
@@ -199,7 +216,14 @@ fn main() {
                             Err(ServeError::Overloaded { .. }) => {
                                 std::thread::sleep(Duration::from_micros(200));
                             }
-                            Err(e) => panic!("submit failed: {e}"),
+                            Err(e) => {
+                                // A hard submit refusal (e.g. shutdown) is
+                                // a failed request, not a process abort;
+                                // the smoke gate fails on the counter.
+                                eprintln!("client {c}: submit failed: {e}");
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
                         }
                     }
                 }
@@ -207,7 +231,7 @@ fn main() {
         })
         .collect();
     for h in handles {
-        h.join().expect("client thread");
+        h.join().map_err(|_| "a client thread panicked".to_string())?;
     }
     let elapsed = t0.elapsed();
 
@@ -255,7 +279,7 @@ fn main() {
             stats.shards.is_empty() && stats.shard_fallbacks == 0
         };
         if !ok || !lanes_ok {
-            eprintln!(
+            return Err(format!(
                 "SMOKE FAIL: errors={} failed={} answered={}/{} hit_rate={:.3} poisoned={} \
                  setup_builds={} setup_hits={} full_misses={} shard_lanes={:?} \
                  shard_fallbacks={}",
@@ -270,9 +294,9 @@ fn main() {
                 stats.full_misses,
                 stats.shards,
                 stats.shard_fallbacks,
-            );
-            std::process::exit(1);
+            ));
         }
         eprintln!("SMOKE OK");
     }
+    Ok(())
 }

@@ -11,6 +11,7 @@
 //! map lookup plus a reference-count bump.
 
 pub use kfds_shard::cache::{CacheError, SingleFlightCache};
+pub use kfds_shard::LockRank;
 
 /// Identity of one factorization: `(dataset id, n, kernel bandwidth, λ,
 /// tree seed)`. Float fields are stored as IEEE bit patterns so the key
@@ -123,7 +124,7 @@ mod tests {
 
     #[test]
     fn hit_after_build_and_float_key_roundtrip() {
-        let c: FactorCache<u64> = FactorCache::new(2);
+        let c: FactorCache<u64> = FactorCache::new(2, LockRank::FactorCache);
         let (v, hit) = c.get_or_build(&key("a"), || Ok::<_, String>(41)).expect("build");
         assert_eq!((v, hit), (41, false));
         let (v, hit) = c.get_or_build(&key("a"), || Ok::<_, String>(99)).expect("hit");
@@ -135,7 +136,7 @@ mod tests {
 
     #[test]
     fn single_flight_builds_once_under_contention() {
-        let c: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2));
+        let c: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2, LockRank::FactorCache));
         let calls = Arc::new(AtomicUsize::new(0));
         std::thread::scope(|s| {
             for _ in 0..8 {
@@ -158,7 +159,7 @@ mod tests {
 
     #[test]
     fn failed_build_quarantines_without_rerun() {
-        let c: FactorCache<u64> = FactorCache::new(2);
+        let c: FactorCache<u64> = FactorCache::new(2, LockRank::FactorCache);
         let err = c.get_or_build(&key("bad"), || Err::<u64, _>("boom")).unwrap_err();
         assert!(matches!(err, CacheError::BuildFailed(_)));
         let err = c.get_or_build(&key("bad"), || Ok::<_, String>(1)).unwrap_err();
@@ -172,7 +173,7 @@ mod tests {
 
     #[test]
     fn panicking_build_quarantines() {
-        let c: FactorCache<u64> = FactorCache::new(2);
+        let c: FactorCache<u64> = FactorCache::new(2, LockRank::FactorCache);
         let err = c.get_or_build(&key("p"), || -> Result<u64, String> { panic!("kaboom") });
         assert!(matches!(err, Err(CacheError::BuildFailed(m)) if m.contains("kaboom")));
         assert!(matches!(
@@ -183,7 +184,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let c: FactorCache<u64> = FactorCache::new(2);
+        let c: FactorCache<u64> = FactorCache::new(2, LockRank::FactorCache);
         for (i, name) in ["a", "b"].iter().enumerate() {
             c.get_or_build(&key(name), || Ok::<_, String>(i as u64)).expect("seed");
         }

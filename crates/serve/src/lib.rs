@@ -38,11 +38,14 @@
 //! `kfds-serve` binary wraps the service with a closed-loop load
 //! generator; `KFDS_SERVE_BATCH=off` disables coalescing for A/B runs.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod service;
 pub mod stats;
 
 pub use cache::{CacheError, FactorCache, FactorKey, SetupCache, SetupKey, SingleFlightCache};
+pub use kfds_rt::sync::LockRank;
 pub use kfds_shard::ShardLane;
 pub use service::{set_batching_enabled, set_shard_enabled, ServeConfig, SolveService, Ticket};
 pub use stats::{Quantiles, ServeStats};

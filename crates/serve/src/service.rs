@@ -37,12 +37,12 @@ use kfds_core::{SharedFactor, SharedSetup, SolverConfig};
 use kfds_kernels::Kernel;
 use kfds_krylov::GmresOptions;
 use kfds_la::Mat;
+use kfds_rt::sync::{LockRank, RankedCondvar, RankedMutex};
 use kfds_shard::{ShardError, ShardRouter};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Once, PoisonError};
+use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -183,13 +183,16 @@ impl ServeConfig {
 
 /// One-shot response slot shared between a worker and a [`Ticket`].
 struct ResponseCell {
-    slot: Mutex<Option<Result<Vec<f64>, ServeError>>>,
-    cv: Condvar,
+    slot: RankedMutex<Option<Result<Vec<f64>, ServeError>>>,
+    cv: RankedCondvar,
 }
 
 impl ResponseCell {
     fn new() -> Arc<Self> {
-        Arc::new(ResponseCell { slot: Mutex::new(None), cv: Condvar::new() })
+        Arc::new(ResponseCell {
+            slot: RankedMutex::new(LockRank::ServeSlot, None),
+            cv: RankedCondvar::new(),
+        })
     }
 
     fn fulfill(&self, r: Result<Vec<f64>, ServeError>) {
@@ -218,7 +221,7 @@ impl Ticket {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.cell.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+            slot = self.cell.cv.wait(slot);
         }
     }
 
@@ -266,8 +269,8 @@ enum BuildMode<K: Kernel + 'static> {
 
 struct Shared<K: Kernel + 'static> {
     cfg: ServeConfig,
-    queue: Mutex<QueueState>,
-    cv: Condvar,
+    queue: RankedMutex<QueueState>,
+    cv: RankedCondvar,
     cache: FactorCache<SharedFactor<K>>,
     mode: BuildMode<K>,
     metrics: Metrics,
@@ -316,7 +319,7 @@ impl<K: Kernel + 'static> SolveService<K> {
         base: SolverConfig,
         setup_builder: impl Fn(&SetupKey) -> Result<SharedSetup<K>, ServeError> + Send + Sync + 'static,
     ) -> Self {
-        let setups = SetupCache::new(cfg.cache_capacity);
+        let setups = SetupCache::new(cfg.cache_capacity, LockRank::SetupCache);
         Self::start_with_mode(
             cfg,
             BuildMode::TwoLevel { setups, builder: Box::new(setup_builder), base },
@@ -327,10 +330,13 @@ impl<K: Kernel + 'static> SolveService<K> {
         let shard = (cfg.shards > 1 && shard_enabled())
             .then(|| ShardRouter::start(cfg.shards, cfg.cache_capacity));
         let shared = Arc::new(Shared {
-            cache: FactorCache::new(cfg.cache_capacity),
+            cache: FactorCache::new(cfg.cache_capacity, LockRank::FactorCache),
             cfg,
-            queue: Mutex::new(QueueState { deque: VecDeque::new(), open: true }),
-            cv: Condvar::new(),
+            queue: RankedMutex::new(
+                LockRank::ServeQueue,
+                QueueState { deque: VecDeque::new(), open: true },
+            ),
+            cv: RankedCondvar::new(),
             mode,
             metrics: Metrics::default(),
             shard,
@@ -341,6 +347,9 @@ impl<K: Kernel + 'static> SolveService<K> {
                 std::thread::Builder::new()
                     .name(format!("kfds-serve-{i}"))
                     .spawn(move || worker_loop(&sh))
+                    // PANIC-OK: thread-spawn failure at service startup is
+                    // a resource-exhaustion fault on the control plane,
+                    // not a per-request condition to degrade from.
                     .expect("spawn serve worker")
             })
             .collect();
@@ -459,8 +468,13 @@ fn drain_same_key(q: &mut QueueState, batch: &mut Vec<Request>, max: usize) {
     let mut i = 0;
     while batch.len() < max && i < q.deque.len() {
         if q.deque[i].key == key {
-            let req = q.deque.remove(i).expect("index checked");
-            batch.push(req);
+            match q.deque.remove(i) {
+                Some(req) => batch.push(req),
+                // `i` is bounds-checked by the loop condition; an absent
+                // element would mean the deque shrank under our exclusive
+                // borrow — stop draining rather than panic.
+                None => break,
+            }
         } else {
             i += 1;
         }
@@ -477,10 +491,7 @@ fn worker_loop<K: Kernel + 'static>(sh: &Shared<K>) {
             if !q.open {
                 return;
             }
-            let (guard, _) = sh
-                .cv
-                .wait_timeout(q, Duration::from_millis(50))
-                .unwrap_or_else(PoisonError::into_inner);
+            let (guard, _) = sh.cv.wait_timeout(q, Duration::from_millis(50));
             q = guard;
         };
         let max_batch = if batching_enabled() { sh.cfg.max_batch.max(1) } else { 1 };
@@ -496,8 +507,7 @@ fn worker_loop<K: Kernel + 'static>(sh: &Shared<K>) {
                 if now >= until || batch.len() >= max_batch {
                     break;
                 }
-                let (guard, _) =
-                    sh.cv.wait_timeout(q, until - now).unwrap_or_else(PoisonError::into_inner);
+                let (guard, _) = sh.cv.wait_timeout(q, until - now);
                 q = guard;
                 drain_same_key(&mut q, &mut batch, max_batch);
             }
@@ -605,8 +615,7 @@ fn dispatch<K: Kernel + 'static>(sh: &Shared<K>, batch: Vec<Request>) {
                 };
                 // A miss just ran the factorization: keep its per-level
                 // breakdown for the stats snapshot.
-                *m.factor_levels.lock().expect("factor_levels lock") =
-                    sf.factor_tree().stats().levels.clone();
+                *m.factor_levels.lock() = sf.factor_tree().stats().levels.clone();
             }
             sf
         }

@@ -10,9 +10,9 @@
 //! alongside.
 
 use kfds_core::LevelStats;
+use kfds_rt::sync::{LockRank, RankedMutex};
 use kfds_shard::ShardLane;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Number of log₂ latency buckets: bucket `i` covers `[2^i, 2^{i+1})` µs,
@@ -157,7 +157,6 @@ impl BatchHist {
 }
 
 /// All service metrics, recorded in place by the submit path and workers.
-#[derive(Default)]
 pub(crate) struct Metrics {
     pub submitted: AtomicU64,
     pub completed: AtomicU64,
@@ -182,13 +181,37 @@ pub(crate) struct Metrics {
     /// Per-level breakdown of the most recently *built* factorization
     /// (recorded on factor-cache misses; hits never touch it). Not on the
     /// hot path — one mutex store per factor build.
-    pub factor_levels: Mutex<Vec<LevelStats>>,
+    pub factor_levels: RankedMutex<Vec<LevelStats>>,
     /// Submit → dispatch.
     pub queue_us: LatencyHist,
     /// One blocked solve call (per batch).
     pub solve_us: LatencyHist,
     /// Submit → response.
     pub total_us: LatencyHist,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            setup_hits: AtomicU64::new(0),
+            full_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            shard_fallbacks: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            batch_hist: BatchHist::default(),
+            factor_levels: RankedMutex::new(LockRank::ServeMetrics, Vec::new()),
+            queue_us: LatencyHist::default(),
+            solve_us: LatencyHist::default(),
+            total_us: LatencyHist::default(),
+        }
+    }
 }
 
 impl Metrics {
@@ -223,7 +246,7 @@ impl Metrics {
             setup_builds,
             batch_hist,
             mean_batch,
-            factor_levels: self.factor_levels.lock().expect("factor_levels lock").clone(),
+            factor_levels: self.factor_levels.lock().clone(),
             queue: self.queue_us.snapshot(),
             solve: self.solve_us.snapshot(),
             total: self.total_us.snapshot(),
@@ -390,7 +413,7 @@ mod tests {
         m.batch_hist.record(2);
         m.queue_us.record(Duration::from_micros(42));
         m.shard_fallbacks.fetch_add(2, Ordering::Relaxed);
-        *m.factor_levels.lock().unwrap() =
+        *m.factor_levels.lock() =
             vec![LevelStats { level: 1, nodes: 4, op_groups: 2, seconds: 0.25 }];
         let s = m.snapshot(1, 2, 0, 1, 1, Vec::new());
         assert_eq!(s.factor_levels.len(), 1);

@@ -12,7 +12,8 @@
 
 use kfds_kernels::Gaussian;
 use kfds_serve::{
-    CacheError, FactorCache, FactorKey, ServeConfig, ServeError, SetupCache, SetupKey, SolveService,
+    CacheError, FactorCache, FactorKey, LockRank, ServeConfig, ServeError, SetupCache, SetupKey,
+    SolveService,
 };
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
@@ -25,7 +26,7 @@ fn key(name: &str) -> FactorKey {
 #[test]
 fn single_flight_builds_exactly_once_under_races() {
     loom::model(|| {
-        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2));
+        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2, LockRank::FactorCache));
         let calls = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..3)
             .map(|_| {
@@ -62,7 +63,7 @@ fn panicking_build_quarantines_exactly_once() {
     //   * the key ends quarantined, not absent and not `Building` (a
     //     `Building` residue would deadlock all future requesters).
     loom::model(|| {
-        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2));
+        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2, LockRank::FactorCache));
         let build_failed = Arc::new(AtomicUsize::new(0));
         let poisoned = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..3)
@@ -105,7 +106,7 @@ fn panicking_build_quarantines_exactly_once() {
 #[test]
 fn lru_capacity_invariant_under_concurrent_inserts() {
     loom::model(|| {
-        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2));
+        let cache: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(2, LockRank::FactorCache));
         let handles: Vec<_> = (0..3u64)
             .map(|i| {
                 let cache = Arc::clone(&cache);
@@ -137,8 +138,8 @@ fn two_level_lambda_miss_storm_builds_setup_once() {
     // a builder runs, so the nesting cannot deadlock, and the inner
     // single-flight coalesces the storm).
     loom::model(|| {
-        let setups: Arc<SetupCache<u64>> = Arc::new(SetupCache::new(2));
-        let factors: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(4));
+        let setups: Arc<SetupCache<u64>> = Arc::new(SetupCache::new(2, LockRank::SetupCache));
+        let factors: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(4, LockRank::FactorCache));
         let setup_builds = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..3)
             .map(|i| {
@@ -179,8 +180,8 @@ fn two_level_factor_failure_poisons_only_the_lambda_key() {
     // order: the factor-level quarantine must never leak into the setup
     // cache — the setup entry stays ready and keeps serving new λ keys.
     loom::model(|| {
-        let setups: Arc<SetupCache<u64>> = Arc::new(SetupCache::new(2));
-        let factors: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(4));
+        let setups: Arc<SetupCache<u64>> = Arc::new(SetupCache::new(2, LockRank::SetupCache));
+        let factors: Arc<FactorCache<u64>> = Arc::new(FactorCache::new(4, LockRank::FactorCache));
         let refactor = |factors: &FactorCache<u64>,
                         setups: &SetupCache<u64>,
                         lambda: f64,

@@ -19,12 +19,10 @@
 //! the builder, so one broken key cannot occupy the workers, and
 //! unrelated keys are untouched.
 
-use parking_lot::Mutex;
+use kfds_rt::sync::{LockRank, RankedCondvar, RankedMutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Condvar;
-use std::sync::PoisonError;
 
 /// Why a cache lookup failed.
 #[derive(Clone, Debug)]
@@ -70,20 +68,23 @@ struct CacheState<Key, V> {
 /// semantics are identical.
 pub struct SingleFlightCache<Key: Clone + Eq + std::hash::Hash, V: Clone> {
     capacity: usize,
-    state: Mutex<CacheState<Key, V>>,
-    cv: Condvar,
+    state: RankedMutex<CacheState<Key, V>>,
+    cv: RankedCondvar,
     builds: AtomicU64,
 }
 
 impl<Key: Clone + Eq + std::hash::Hash, V: Clone> SingleFlightCache<Key, V> {
     /// Creates a cache retaining at most `capacity` ready factorizations
-    /// (`capacity` is clamped to ≥ 1). Poisoned keys are quarantine
-    /// records, not cached values, and do not count against the capacity.
-    pub fn new(capacity: usize) -> Self {
+    /// (`capacity` is clamped to ≥ 1) whose state lock carries `rank` in
+    /// the [`LockRank`] hierarchy — each instantiation level (factor,
+    /// setup, shard partition) sits at its own rung. Poisoned keys are
+    /// quarantine records, not cached values, and do not count against
+    /// the capacity.
+    pub fn new(capacity: usize, rank: LockRank) -> Self {
         SingleFlightCache {
             capacity: capacity.max(1),
-            state: Mutex::new(CacheState { map: HashMap::new(), tick: 0 }),
-            cv: Condvar::new(),
+            state: RankedMutex::new(rank, CacheState { map: HashMap::new(), tick: 0 }),
+            cv: RankedCondvar::new(),
             builds: AtomicU64::new(0),
         }
     }
@@ -104,19 +105,18 @@ impl<Key: Clone + Eq + std::hash::Hash, V: Clone> SingleFlightCache<Key, V> {
     ) -> Result<(V, bool), CacheError> {
         let mut st = self.state.lock();
         loop {
-            match st.map.get(key) {
-                Some(Slot::Ready { .. }) => {
-                    st.tick += 1;
-                    let t = st.tick;
-                    let Some(Slot::Ready { value, last_used }) = st.map.get_mut(key) else {
-                        unreachable!("slot was Ready under the same lock");
-                    };
+            // Bump the recency clock up front so the Ready arm can borrow
+            // the slot mutably without a second lookup.
+            st.tick += 1;
+            let t = st.tick;
+            match st.map.get_mut(key) {
+                Some(Slot::Ready { value, last_used }) => {
                     *last_used = t;
                     return Ok((value.clone(), true));
                 }
                 Some(Slot::Poisoned(e)) => return Err(CacheError::Poisoned(e.clone())),
                 Some(Slot::Building) => {
-                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    st = self.cv.wait(st);
                 }
                 None => break,
             }
@@ -182,8 +182,12 @@ impl<Key: Clone + Eq + std::hash::Hash, V: Clone> SingleFlightCache<Key, V> {
             if ready.len() <= self.capacity {
                 return;
             }
-            let victim =
-                ready.iter().min_by_key(|(_, t)| *t).map(|(k, _)| (*k).clone()).expect("nonempty");
+            // `ready` is nonempty here (len > capacity >= 1), but degrade
+            // to a no-op rather than panic on the impossible branch.
+            let Some(victim) = ready.iter().min_by_key(|(_, t)| *t).map(|(k, _)| (*k).clone())
+            else {
+                return;
+            };
             st.map.remove(&victim);
         }
     }
@@ -230,7 +234,8 @@ mod tests {
 
     #[test]
     fn peek_never_builds_and_bumps_recency() {
-        let c: SingleFlightCache<String, u64> = SingleFlightCache::new(2);
+        let c: SingleFlightCache<String, u64> =
+            SingleFlightCache::new(2, LockRank::ShardPartitionCache);
         assert_eq!(c.peek(&"a".into()), None, "peek on an absent key is a miss");
         assert_eq!(c.builds(), 0, "peek must never run a builder");
         for (i, name) in ["a", "b"].iter().enumerate() {
@@ -245,7 +250,8 @@ mod tests {
 
     #[test]
     fn peek_sees_neither_building_nor_poisoned() {
-        let c: SingleFlightCache<String, u64> = SingleFlightCache::new(2);
+        let c: SingleFlightCache<String, u64> =
+            SingleFlightCache::new(2, LockRank::ShardPartitionCache);
         let err = c.get_or_build(&"bad".into(), || Err::<u64, _>("boom")).unwrap_err();
         assert!(matches!(err, CacheError::BuildFailed(_)));
         assert_eq!(c.peek(&"bad".into()), None, "a quarantined key is not a ready value");

@@ -24,10 +24,13 @@
 //! router and fall back to the single-node path (bitwise the same)
 //! when a factor cannot shard or the switch is off.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod router;
 pub mod stats;
 
 pub use cache::{CacheError, SingleFlightCache};
+pub use kfds_rt::sync::LockRank;
 pub use router::{ShardError, ShardRouter};
 pub use stats::ShardLane;

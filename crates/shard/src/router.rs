@@ -25,8 +25,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use kfds_core::{PartitionedFactor, SharedFactor};
 use kfds_kernels::Kernel;
 use kfds_la::Mat;
+use kfds_rt::sync::{LockRank, RankedMutex};
 use kfds_rt::{tags, Comm, Transport, World};
-use parking_lot::Mutex;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -79,14 +79,14 @@ impl std::error::Error for ShardError {}
 struct RequestOutcome {
     /// 0 = pending, 1 = ok, 2 = failed; one slot per shard.
     marks: Vec<AtomicU8>,
-    errs: Mutex<Vec<Option<String>>>,
+    errs: RankedMutex<Vec<Option<String>>>,
 }
 
 impl RequestOutcome {
     fn new(p: usize) -> Self {
         RequestOutcome {
             marks: (0..p).map(|_| AtomicU8::new(0)).collect(),
-            errs: Mutex::new(vec![None; p]),
+            errs: RankedMutex::new(LockRank::ShardOutcome, vec![None; p]),
         }
     }
 
@@ -143,9 +143,9 @@ where
 {
     p: usize,
     owner: Arc<SingleFlightCache<Key, PartitionedFactor<K>>>,
-    plane: Mutex<DataPlane>,
+    plane: RankedMutex<DataPlane>,
     job_txs: Vec<Sender<Job<Key>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    workers: RankedMutex<Vec<JoinHandle<()>>>,
     counters: Arc<Vec<ShardCounters>>,
 }
 
@@ -163,8 +163,10 @@ where
     pub fn start(p: usize, cache_capacity: usize) -> Self {
         assert!(p > 0, "need at least one shard");
         let mut eps = World::endpoints(p + 1);
+        // PANIC-OK: World::endpoints(p + 1) returns exactly p + 1
+        // endpoints by contract and p >= 1 is asserted above.
         let router_ep = eps.pop().expect("p + 1 endpoints");
-        let owner = Arc::new(SingleFlightCache::new(cache_capacity));
+        let owner = Arc::new(SingleFlightCache::new(cache_capacity, LockRank::ShardPartitionCache));
         let counters: Arc<Vec<ShardCounters>> =
             Arc::new((0..p).map(|_| ShardCounters::default()).collect());
         let mut job_txs = Vec::with_capacity(p);
@@ -174,20 +176,26 @@ where
             job_txs.push(tx);
             let owner = Arc::clone(&owner);
             let counters = Arc::clone(&counters);
-            let local = SingleFlightCache::new(cache_capacity);
+            let local = SingleFlightCache::new(cache_capacity, LockRank::ShardPartitionCache);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("kfds-shard-{shard}"))
                     .spawn(move || worker_loop(shard, p, ep, rx, local, owner, counters))
+                    // PANIC-OK: thread-spawn failure at router startup is a
+                    // resource-exhaustion fault on the control plane, not a
+                    // per-request data-plane condition to degrade from.
                     .expect("spawn shard worker"),
             );
         }
         ShardRouter {
             p,
             owner,
-            plane: Mutex::new(DataPlane { ep: router_ep, closed: false }),
+            plane: RankedMutex::new(
+                LockRank::RouterDataPlane,
+                DataPlane { ep: router_ep, closed: false },
+            ),
             job_txs,
-            workers: Mutex::new(workers),
+            workers: RankedMutex::new(LockRank::RouterControl, workers),
             counters,
         }
     }
@@ -234,9 +242,11 @@ where
         let outcome = Arc::new(RequestOutcome::new(self.p));
         for tx in &self.job_txs {
             let job = Job::Solve { key: key.clone(), nrhs, outcome: Arc::clone(&outcome) };
-            // Workers only exit after a Shutdown job, which is only sent
-            // with `closed` set under this same lock — so the channel
-            // cannot be disconnected here.
+            // PANIC-OK: workers only exit after a Shutdown job, which is
+            // only sent with `closed` set under this same lock — a
+            // disconnected channel here means a worker died outside the
+            // protocol (broken invariant), and the serve tier contains the
+            // unwind via catch_unwind + key quarantine.
             tx.send(job).expect("shard worker alive while the router is open");
         }
         pf.scatter_rhs(&plane.ep, b, SCATTER);

@@ -143,3 +143,35 @@ fn scatter_gather_completes_exactly_once_per_request() {
         router.shutdown();
     });
 }
+
+#[test]
+fn rank_inversion_is_caught_by_the_runtime_checker() {
+    // Seeded lock-order inversion: the debug-build held-rank stack in
+    // `kfds_rt::sync` must panic ("lock-rank inversion") on the thread
+    // that acquires against the hierarchy, under concurrency — the
+    // runtime backstop behind the static `rule_lock_discipline` lint. In
+    // release builds the checker compiles out and the nesting is merely
+    // a (deadlock-free, single-threaded here) pair of acquisitions.
+    use kfds_rt::sync::{LockRank, RankedMutex};
+    loom::model(|| {
+        let hi = Arc::new(RankedMutex::new(LockRank::ShardPartitionCache, ()));
+        let lo = Arc::new(RankedMutex::new(LockRank::RouterDataPlane, ()));
+        let h = {
+            let hi = Arc::clone(&hi);
+            let lo = Arc::clone(&lo);
+            thread::spawn(move || {
+                let _outer = hi.lock();
+                let _inner = lo.lock(); // ShardPartitionCache > RouterDataPlane: inversion
+            })
+        };
+        let res = h.join();
+        if cfg!(debug_assertions) {
+            assert!(res.is_err(), "rank inversion must panic the acquiring thread in debug");
+        } else {
+            assert!(res.is_ok(), "release builds compile the checker out");
+        }
+        // The hierarchy-respecting direction must stay clean either way.
+        let _a = lo.lock();
+        let _b = hi.lock();
+    });
+}

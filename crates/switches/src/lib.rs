@@ -18,6 +18,8 @@
 //! Setting the variable to one of its `off_values` selects the reference
 //! path bitwise.
 
+#![forbid(unsafe_code)]
+
 use std::ffi::OsString;
 
 /// One registered runtime switch.

@@ -6,6 +6,8 @@
 //! generators standing in for the paper's real-world data (see `DESIGN.md`
 //! for the substitution rationale).
 
+#![forbid(unsafe_code)]
+
 pub mod balltree;
 pub mod datasets;
 pub mod dist_tiles;

@@ -4,12 +4,19 @@
 //!   documented in `DESIGN.md` §7 over every `.rs` file in the repo
 //!   (SAFETY comments on `unsafe`, `KFDS_*` reads only through the
 //!   `kfds-switches` registry, allocation-free hot-path modules,
-//!   `debug_assert!` preconditions on public unsafe helpers), plus the
-//!   README switch-table drift check. Exits non-zero on any finding.
+//!   `debug_assert!` preconditions on public unsafe helpers, ranked
+//!   locks and panic-free non-test code in the concurrency crates,
+//!   pinned `#![forbid(unsafe_code)]` attributes), plus the repo-level
+//!   checks: README switch-table drift and registry switch coverage
+//!   (README row + ci.sh lane + test reference per switch). Exits
+//!   non-zero on any finding and prints a per-rule finding count that
+//!   `ci.sh` asserts on.
 //! * `switch-table [--check|--write]` — prints the runtime-switch table
 //!   generated from the `kfds-switches` registry; `--write` splices it
 //!   into `README.md` between the `<!-- switch-table:begin/end -->`
 //!   markers, `--check` verifies it is already there verbatim.
+
+#![forbid(unsafe_code)]
 
 mod rules;
 mod scan;
@@ -73,6 +80,13 @@ fn repo_root() -> PathBuf {
 
 fn run_lint(root: &Path) -> ExitCode {
     let findings = lint_repo(root);
+    // Per-rule counts, printed always, so `ci.sh` can assert that each
+    // rule family actually ran (a silently skipped rule reads as green).
+    let counts: String = rules::RULE_NAMES
+        .iter()
+        .map(|r| format!(" {r}={}", findings.iter().filter(|f| f.rule == *r).count()))
+        .collect();
+    println!("kfds-lint rules:{counts}");
     if findings.is_empty() {
         println!("kfds-lint: 0 findings.");
         return ExitCode::SUCCESS;
@@ -84,9 +98,12 @@ fn run_lint(root: &Path) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// All findings over every tracked `.rs` file plus the README drift check.
+/// All findings over every tracked `.rs` file, plus the repo-level
+/// checks: README switch-table drift and registry switch coverage
+/// (README row + ci.sh lane + test reference for every switch).
 fn lint_repo(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let mut tested_switches: Vec<&'static str> = Vec::new();
     for path in rust_files(root) {
         let rel = path
             .strip_prefix(root)
@@ -105,9 +122,18 @@ fn lint_repo(root: &Path) -> Vec<Finding> {
                 continue;
             }
         };
-        findings.extend(rules::check_source(&scan::scan_str(&rel, &text)));
+        let src = scan::scan_str(&rel, &text);
+        findings.extend(rules::check_source(&src));
+        for name in rules::test_switch_refs(&src) {
+            if !tested_switches.contains(&name) {
+                tested_switches.push(name);
+            }
+        }
     }
     findings.extend(readme_table_findings(root));
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let ci = std::fs::read_to_string(root.join("ci.sh")).unwrap_or_default();
+    findings.extend(rules::rule_switch_coverage(&readme, &ci, &tested_switches));
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     findings
 }

@@ -49,6 +49,8 @@
 //! | [`solver`] | factorization (II.2), solve (II.3), hybrid (II.6–8), distributed (II.4–5), ridge regression |
 //! | [`serve`] | batched solve service: factorization cache + adaptive multi-RHS coalescing |
 
+#![forbid(unsafe_code)]
+
 pub use kfds_askit as askit;
 pub use kfds_core as solver;
 pub use kfds_kernels as kernels;
